@@ -1,0 +1,44 @@
+"""Domain scenario: federated next-word prediction (Reddit-style).
+
+Each simulated user has its own writing style (a private Markov chain over a
+shared vocabulary), so the federation is naturally non-IID.  The backbone is
+an embedding + 2-layer LSTM + softmax language model, as in the paper's
+Reddit experiment, and FedLPS sparsifies the LSTM hidden units.
+
+Run with::
+
+    python examples/next_word_prediction.py
+"""
+
+from __future__ import annotations
+
+from repro.core import FedLPS
+from repro.baselines import FedAvg, Hermes
+from repro.data import build_federated_dataset
+from repro.federated import FederatedConfig, run_federated
+from repro.models import build_lstm_lm
+
+
+def main() -> None:
+    dataset = build_federated_dataset("reddit", num_clients=16,
+                                      examples_per_client=80, seed=7)
+    vocab_size = dataset.num_classes
+    config = FederatedConfig(num_rounds=15, clients_per_round=4,
+                             local_iterations=8, batch_size=16,
+                             learning_rate=1.5, clip_norm=5.0, seed=7)
+
+    def model_builder():
+        return build_lstm_lm(vocab_size, embed_dim=12, hidden_dim=24,
+                             num_layers=2, seq_len=dataset.input_shape[0],
+                             seed=7)
+
+    print(f"federation: {dataset.num_clients} users, vocab {vocab_size}")
+    for strategy in (FedLPS(), Hermes(), FedAvg()):
+        history = run_federated(strategy, dataset, model_builder, config=config)
+        print(f"{history.method:8s} next-word accuracy={history.final_accuracy():.3f} "
+              f"flops={history.total_flops:.3e} "
+              f"sim time={history.total_time_seconds:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Quickstart: train FedLPS on a small heterogeneous federation.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds a synthetic non-IID MNIST-style federation of 12 edge
+devices with five capability tiers, trains FedLPS for 15 communication rounds
+and compares it against FedAvg on accuracy, computation and simulated time.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import FedAvg
+from repro.core import FedLPS
+from repro.data import build_federated_dataset
+from repro.federated import FederatedConfig, run_federated
+from repro.models import build_model_for_dataset
+
+
+def main() -> None:
+    dataset = build_federated_dataset("mnist", num_clients=12,
+                                      examples_per_client=60, seed=0)
+    config = FederatedConfig(num_rounds=15, clients_per_round=4,
+                             local_iterations=8, batch_size=16, seed=0)
+
+    def model_builder():
+        return build_model_for_dataset("mnist", seed=0)
+
+    print("Training FedLPS (learnable sparse personalization) ...")
+    fedlps_history = run_federated(FedLPS(), dataset, model_builder, config=config)
+    print("Training FedAvg (dense baseline) ...")
+    fedavg_history = run_federated(FedAvg(), dataset, model_builder, config=config)
+
+    print("\n=== results (average personalized test accuracy) ===")
+    for history in (fedlps_history, fedavg_history):
+        print(f"{history.method:8s} accuracy={history.final_accuracy():.3f} "
+              f"total_flops={history.total_flops:.3e} "
+              f"simulated_time={history.total_time_seconds:.2f}s")
+    speedup = (fedavg_history.total_flops
+               / max(fedlps_history.total_flops, 1.0))
+    print(f"\nFedLPS used {speedup:.1f}x fewer training FLOPs than FedAvg.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim so that ``pip install -e .`` works in offline environments
+that lack the ``wheel`` package (legacy editable installs do not need it)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""FedLPS reproduction: learnable sparse customization for heterogeneous FL.
+
+Public API overview
+-------------------
+
+* :mod:`repro.nn` — numpy neural-network substrate (layers, losses, SGD).
+* :mod:`repro.models` — CPU-sized backbones with structured-unit layouts.
+* :mod:`repro.data` — synthetic federated datasets and non-IID partitioners.
+* :mod:`repro.sparsity` — sparse patterns, masks and cost accounting.
+* :mod:`repro.systems` — device capabilities, cost model and metrics.
+* :mod:`repro.federated` — clients, strategies, trainer and aggregation.
+* :mod:`repro.core` — FedLPS itself: importance learning, learnable sparse
+  training and the P-UCBV bandit.
+* :mod:`repro.baselines` — the 20 comparison methods of the paper.
+* :mod:`repro.experiments` — presets plus per-table/figure reproduction.
+
+Quickstart::
+
+    from repro.core import FedLPS
+    from repro.data import build_federated_dataset
+    from repro.federated import FederatedConfig, run_federated
+    from repro.models import build_model_for_dataset
+
+    dataset = build_federated_dataset("mnist", num_clients=16)
+    history = run_federated(
+        FedLPS(), dataset, lambda: build_model_for_dataset("mnist"),
+        config=FederatedConfig(num_rounds=20))
+    print(history.final_accuracy(), history.total_flops)
+"""
+
+from . import baselines, core, data, experiments, federated, models, nn, sparsity, systems
+from .baselines import build_strategy
+from .core import FedLPS
+from .data import build_federated_dataset
+from .federated import FederatedConfig, FederatedTrainer, run_federated
+from .models import build_model_for_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "models",
+    "data",
+    "sparsity",
+    "systems",
+    "federated",
+    "core",
+    "baselines",
+    "experiments",
+    "FedLPS",
+    "build_strategy",
+    "build_federated_dataset",
+    "build_model_for_dataset",
+    "FederatedConfig",
+    "FederatedTrainer",
+    "run_federated",
+    "__version__",
+]

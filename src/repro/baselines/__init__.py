@@ -1,0 +1,44 @@
+"""Baseline federated-learning strategies compared against FedLPS."""
+
+from . import ablations
+from .conventional import REFL, FedAvg, FedProx, Oort
+from .personalized import Ditto, FedPer, FedRep, PerFedAvg, body_keys, head_keys
+from .personalized_sparse import (FedP3, FedSpa, Hermes, LotteryFL,
+                                  PersonalSparseStrategy)
+from .registry import (STRATEGY_REGISTRY, TABLE1_METHODS, available_strategies,
+                       build_strategy)
+from .sparse_shared import (ComplementSparsification, DepthFL, FedDropout,
+                            FedMP, FedRolex, FjORD, HeteroFL, PruneFL,
+                            SharedSparseStrategy)
+
+__all__ = [
+    "FedAvg",
+    "FedProx",
+    "Oort",
+    "REFL",
+    "PruneFL",
+    "ComplementSparsification",
+    "FedDropout",
+    "FjORD",
+    "HeteroFL",
+    "FedRolex",
+    "FedMP",
+    "DepthFL",
+    "Ditto",
+    "FedPer",
+    "FedRep",
+    "PerFedAvg",
+    "LotteryFL",
+    "Hermes",
+    "FedSpa",
+    "FedP3",
+    "SharedSparseStrategy",
+    "PersonalSparseStrategy",
+    "ablations",
+    "build_strategy",
+    "available_strategies",
+    "STRATEGY_REGISTRY",
+    "TABLE1_METHODS",
+    "head_keys",
+    "body_keys",
+]

@@ -1,0 +1,182 @@
+"""Conventional (dense, same-model) federated learning baselines.
+
+* FedAvg and FedProx train the identical dense model on every client.
+* Oort and REFL keep the dense model but select participants intelligently:
+  Oort by statistical utility with exploration, REFL by resource-aware
+  prioritization of rarely-seen clients with capability-scaled local work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..federated.client import Client
+from ..federated.local import train_locally
+from ..federated.strategy import ClientUpdate, Strategy, StrategyContext
+
+
+class FedAvg(Strategy):
+    """McMahan et al.'s FedAvg: the base strategy under its canonical name."""
+
+    name = "fedavg"
+
+
+class FedProx(Strategy):
+    """FedAvg plus a proximal term that limits local drift from the global model."""
+
+    name = "fedprox"
+
+    def __init__(self, mu: float = 0.01) -> None:
+        super().__init__()
+        if mu < 0:
+            raise ValueError("mu must be non-negative")
+        self.mu = mu
+
+    def local_update(self, round_index: int, client: Client) -> ClientUpdate:
+        context = self._require_context()
+        config = context.config
+        result = train_locally(
+            context.model, self.global_params, client.train_data,
+            iterations=config.local_iterations, batch_size=config.batch_size,
+            learning_rate=config.learning_rate, momentum=config.momentum,
+            clip_norm=config.clip_norm, prox_mu=self.mu,
+            prox_center=self.global_params,
+            rng=self._client_rng(round_index, client.client_id))
+        flops, upload, download = self._round_footprint(client)
+        return ClientUpdate(
+            client_id=client.client_id, params=result.params,
+            num_examples=client.num_train_examples,
+            train_accuracy=result.train_accuracy, train_loss=result.train_loss,
+            flops=flops, upload_bytes=upload, download_bytes=download)
+
+
+class Oort(Strategy):
+    """Guided participant selection by statistical utility (Lai et al., OSDI'21).
+
+    A client's utility combines its most recent training loss (statistical
+    utility) with a preference for fast devices; an epsilon fraction of slots
+    is reserved for exploring clients that were never observed.
+    """
+
+    name = "oort"
+
+    def __init__(self, exploration_fraction: float = 0.3,
+                 speed_weight: float = 0.5) -> None:
+        super().__init__()
+        if not 0.0 <= exploration_fraction <= 1.0:
+            raise ValueError("exploration_fraction must be in [0, 1]")
+        self.exploration_fraction = exploration_fraction
+        self.speed_weight = speed_weight
+        self._last_loss: Dict[int, float] = {}
+
+    def setup(self, context: StrategyContext) -> None:
+        super().setup(context)
+        self._last_loss = {}
+
+    def select_clients(self, round_index: int) -> List[int]:
+        context = self._require_context()
+        ids = context.client_ids
+        count = min(context.config.clients_per_round, len(ids))
+        explored = [cid for cid in ids if cid in self._last_loss]
+        unexplored = [cid for cid in ids if cid not in self._last_loss]
+        n_explore = min(len(unexplored),
+                        max(1, int(round(self.exploration_fraction * count)))
+                        if unexplored else 0)
+        n_exploit = count - n_explore
+        chosen: List[int] = []
+        if n_explore > 0:
+            chosen.extend(int(cid) for cid in context.rng.choice(
+                unexplored, size=n_explore, replace=False))
+        if n_exploit > 0 and explored:
+            scores = {cid: self._utility(context, cid) for cid in explored}
+            ranked = sorted(explored, key=lambda cid: scores[cid], reverse=True)
+            chosen.extend(ranked[:n_exploit])
+        # pad with random clients if we still have open slots
+        remaining = [cid for cid in ids if cid not in chosen]
+        while len(chosen) < count and remaining:
+            pick = int(context.rng.choice(remaining))
+            remaining.remove(pick)
+            chosen.append(pick)
+        return sorted(chosen)
+
+    def _utility(self, context: StrategyContext, client_id: int) -> float:
+        statistical = self._last_loss.get(client_id, 0.0) * np.sqrt(
+            context.clients[client_id].num_train_examples)
+        speed = context.clients[client_id].capability
+        return float(statistical + self.speed_weight * speed)
+
+    def post_round(self, round_index, updates, costs) -> None:
+        for update in updates:
+            self._last_loss[update.client_id] = update.train_loss
+
+
+class REFL(Strategy):
+    """Resource-efficient FL: prioritize stale clients, scale work to capability.
+
+    Clients that have not participated recently are preferred (diversity), and
+    each selected client runs a number of local iterations proportional to its
+    capability so that weak devices are not overloaded (this is what produces
+    REFL's FLOP savings in Table I).  Updates from weak clients are therefore
+    "partially stale" and are discounted at aggregation time.
+    """
+
+    name = "refl"
+
+    def __init__(self, staleness_decay: float = 0.7) -> None:
+        super().__init__()
+        if not 0.0 < staleness_decay <= 1.0:
+            raise ValueError("staleness_decay must be in (0, 1]")
+        self.staleness_decay = staleness_decay
+        self._last_selected: Dict[int, int] = {}
+
+    def setup(self, context: StrategyContext) -> None:
+        super().setup(context)
+        self._last_selected = {cid: -1 for cid in context.client_ids}
+
+    def select_clients(self, round_index: int) -> List[int]:
+        context = self._require_context()
+        ids = context.client_ids
+        count = min(context.config.clients_per_round, len(ids))
+        staleness = {cid: round_index - self._last_selected[cid] for cid in ids}
+        jitter = {cid: float(context.rng.random()) for cid in ids}
+        ranked = sorted(ids, key=lambda cid: (staleness[cid], jitter[cid]),
+                        reverse=True)
+        return sorted(ranked[:count])
+
+    def local_update(self, round_index: int, client: Client) -> ClientUpdate:
+        context = self._require_context()
+        config = context.config
+        iterations = max(1, int(round(config.local_iterations * client.capability)))
+        result = train_locally(
+            context.model, self.global_params, client.train_data,
+            iterations=iterations, batch_size=config.batch_size,
+            learning_rate=config.learning_rate, momentum=config.momentum,
+            clip_norm=config.clip_norm,
+            rng=self._client_rng(round_index, client.client_id))
+        scale = iterations / config.local_iterations
+        flops, upload, download = self._round_footprint(client)
+        return ClientUpdate(
+            client_id=client.client_id, params=result.params,
+            num_examples=client.num_train_examples,
+            train_accuracy=result.train_accuracy, train_loss=result.train_loss,
+            flops=flops * scale, upload_bytes=upload, download_bytes=download,
+            extras={"iterations": float(iterations)})
+
+    def aggregate(self, round_index: int, updates: List[ClientUpdate]) -> None:
+        if not updates:
+            return
+        config = self._require_context().config
+        weights = []
+        for update in updates:
+            shortfall = 1.0 - update.extras.get(
+                "iterations", config.local_iterations) / config.local_iterations
+            weights.append(update.num_examples
+                           * (self.staleness_decay ** (shortfall * 2.0)))
+        from ..federated.aggregation import fedavg
+        self.global_params = fedavg([u.params for u in updates], weights)
+
+    def post_round(self, round_index, updates, costs) -> None:
+        for update in updates:
+            self._last_selected[update.client_id] = round_index

@@ -1,0 +1,208 @@
+"""Personalized (dense) federated learning baselines.
+
+* Ditto trains a personal model regularized towards the global one in
+  addition to the standard global update.
+* FedPer / FedRep split the model into a shared body and a personal head.
+* Per-FedAvg personalizes by fine-tuning the meta-learned global model on
+  local data before inference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..federated.client import Client
+from ..federated.local import train_locally
+from ..federated.strategy import ClientUpdate, Strategy
+from ..federated.aggregation import fedavg
+from ..nn.params import ParamDict, copy_params
+
+
+HEAD_PREFIX = "head."
+
+
+def head_keys(params: ParamDict) -> List[str]:
+    """Parameter keys belonging to the personalization head (the output layer)."""
+    return [key for key in params if key.startswith(HEAD_PREFIX)]
+
+
+def body_keys(params: ParamDict) -> List[str]:
+    """Parameter keys belonging to the shared representation body."""
+    return [key for key in params if not key.startswith(HEAD_PREFIX)]
+
+
+class Ditto(Strategy):
+    """Ditto: fair/robust personalization via a proximally regularized personal model.
+
+    Each selected client performs two local passes: the standard global-model
+    update (uploaded and averaged) and a personal-model update with a proximal
+    pull towards the current global parameters (kept locally).  The double
+    work is reflected in the FLOP accounting, matching Table I where Ditto
+    costs twice FedAvg.
+    """
+
+    name = "ditto"
+
+    def __init__(self, personal_mu: float = 0.1) -> None:
+        super().__init__()
+        if personal_mu < 0:
+            raise ValueError("personal_mu must be non-negative")
+        self.personal_mu = personal_mu
+
+    def local_update(self, round_index: int, client: Client) -> ClientUpdate:
+        context = self._require_context()
+        config = context.config
+        rng = self._client_rng(round_index, client.client_id)
+        global_result = train_locally(
+            context.model, self.global_params, client.train_data,
+            iterations=config.local_iterations, batch_size=config.batch_size,
+            learning_rate=config.learning_rate, momentum=config.momentum,
+            clip_norm=config.clip_norm, rng=rng)
+        personal_start = client.state.get("personal_params", self.global_params)
+        personal_result = train_locally(
+            context.model, personal_start, client.train_data,
+            iterations=config.local_iterations, batch_size=config.batch_size,
+            learning_rate=config.learning_rate, momentum=config.momentum,
+            clip_norm=config.clip_norm, prox_mu=self.personal_mu,
+            prox_center=self.global_params, rng=rng)
+        client.state["personal_params"] = personal_result.params
+        flops, upload, download = self._round_footprint(client)
+        return ClientUpdate(
+            client_id=client.client_id, params=global_result.params,
+            num_examples=client.num_train_examples,
+            train_accuracy=personal_result.train_accuracy,
+            train_loss=personal_result.train_loss,
+            flops=2.0 * flops, upload_bytes=upload, download_bytes=download)
+
+    def client_evaluation(self, client: Client) -> Tuple[ParamDict, None]:
+        personal = client.state.get("personal_params")
+        return (personal if personal is not None else self.global_params), None
+
+
+class FedPer(Strategy):
+    """FedPer: shared body, personal classification head kept on-device."""
+
+    name = "fedper"
+
+    def local_update(self, round_index: int, client: Client) -> ClientUpdate:
+        context = self._require_context()
+        config = context.config
+        start = copy_params(self.global_params)
+        personal_head = client.state.get("personal_head")
+        if personal_head is not None:
+            start.update(personal_head)
+        result = train_locally(
+            context.model, start, client.train_data,
+            iterations=config.local_iterations, batch_size=config.batch_size,
+            learning_rate=config.learning_rate, momentum=config.momentum,
+            clip_norm=config.clip_norm,
+            rng=self._client_rng(round_index, client.client_id))
+        client.state["personal_head"] = {key: result.params[key]
+                                         for key in head_keys(result.params)}
+        client.state["personal_body"] = {key: result.params[key]
+                                         for key in body_keys(result.params)}
+        flops, upload, download = self._round_footprint(client)
+        # the head stays local, so the uplink volume shrinks accordingly
+        head_fraction = sum(result.params[key].size for key in head_keys(result.params)) \
+            / max(sum(v.size for v in result.params.values()), 1)
+        return ClientUpdate(
+            client_id=client.client_id, params=result.params,
+            num_examples=client.num_train_examples,
+            train_accuracy=result.train_accuracy, train_loss=result.train_loss,
+            flops=flops, upload_bytes=upload * (1.0 - head_fraction),
+            download_bytes=download)
+
+    def aggregate(self, round_index: int, updates: List[ClientUpdate]) -> None:
+        if not updates:
+            return
+        merged = fedavg([u.params for u in updates],
+                        [u.num_examples for u in updates])
+        # only the body is shared; the global head keeps its previous value
+        for key in head_keys(merged):
+            merged[key] = self.global_params[key]
+        self.global_params = merged
+
+    def client_evaluation(self, client: Client) -> Tuple[ParamDict, None]:
+        params = copy_params(self.global_params)
+        personal_head = client.state.get("personal_head")
+        if personal_head is not None:
+            params.update(personal_head)
+        return params, None
+
+
+class FedRep(FedPer):
+    """FedRep: like FedPer, but the head and body are trained in two phases."""
+
+    name = "fedrep"
+
+    def __init__(self, head_iterations: Optional[int] = None) -> None:
+        super().__init__()
+        self.head_iterations = head_iterations
+
+    def local_update(self, round_index: int, client: Client) -> ClientUpdate:
+        context = self._require_context()
+        config = context.config
+        rng = self._client_rng(round_index, client.client_id)
+        start = copy_params(self.global_params)
+        personal_head = client.state.get("personal_head")
+        if personal_head is not None:
+            start.update(personal_head)
+        head_iters = self.head_iterations or max(1, config.local_iterations // 2)
+        # phase 1: adapt the personal head with the body frozen
+        head_result = train_locally(
+            context.model, start, client.train_data,
+            iterations=head_iters, batch_size=config.batch_size,
+            learning_rate=config.learning_rate, momentum=config.momentum,
+            clip_norm=config.clip_norm, trainable_keys=head_keys(start), rng=rng)
+        # phase 2: adapt the shared body with the head frozen
+        body_result = train_locally(
+            context.model, head_result.params, client.train_data,
+            iterations=config.local_iterations, batch_size=config.batch_size,
+            learning_rate=config.learning_rate, momentum=config.momentum,
+            clip_norm=config.clip_norm, trainable_keys=body_keys(start), rng=rng)
+        client.state["personal_head"] = {key: body_result.params[key]
+                                         for key in head_keys(body_result.params)}
+        flops, upload, download = self._round_footprint(client)
+        head_fraction = sum(body_result.params[key].size
+                            for key in head_keys(body_result.params)) \
+            / max(sum(v.size for v in body_result.params.values()), 1)
+        extra = head_iters / config.local_iterations
+        return ClientUpdate(
+            client_id=client.client_id, params=body_result.params,
+            num_examples=client.num_train_examples,
+            train_accuracy=body_result.train_accuracy,
+            train_loss=body_result.train_loss,
+            flops=flops * (1.0 + extra),
+            upload_bytes=upload * (1.0 - head_fraction), download_bytes=download)
+
+
+class PerFedAvg(Strategy):
+    """Per-FedAvg: MAML-style personalization by local fine-tuning at inference.
+
+    Training follows FedAvg (first-order approximation); personalization
+    happens at evaluation time, where every client adapts the global model
+    with a few SGD steps on its local training data before testing.
+    """
+
+    name = "perfedavg"
+
+    def __init__(self, adaptation_steps: int = 2,
+                 adaptation_lr: Optional[float] = None) -> None:
+        super().__init__()
+        if adaptation_steps < 0:
+            raise ValueError("adaptation_steps must be non-negative")
+        self.adaptation_steps = adaptation_steps
+        self.adaptation_lr = adaptation_lr
+
+    def client_evaluation(self, client: Client) -> Tuple[ParamDict, None]:
+        context = self._require_context()
+        config = context.config
+        if self.adaptation_steps == 0:
+            return self.global_params, None
+        result = train_locally(
+            context.model, self.global_params, client.train_data,
+            iterations=self.adaptation_steps, batch_size=config.batch_size,
+            learning_rate=self.adaptation_lr or config.learning_rate,
+            momentum=0.0, clip_norm=config.clip_norm,
+            rng=self._client_rng(10_000, client.client_id))
+        return result.params, None

@@ -1,0 +1,74 @@
+"""Registry mapping method names to strategy factories.
+
+The keys match the method names of Table I (lower-cased), plus the FedLPS
+ablation variants, so that experiments and benchmarks can be driven by plain
+strings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.strategy import FedLPS
+from ..federated.strategy import Strategy
+from . import ablations
+from .conventional import REFL, FedAvg, FedProx, Oort
+from .personalized import Ditto, FedPer, FedRep, PerFedAvg
+from .personalized_sparse import FedP3, FedSpa, Hermes, LotteryFL
+from .sparse_shared import (ComplementSparsification, DepthFL, FedDropout,
+                            FedMP, FedRolex, FjORD, HeteroFL, PruneFL)
+
+StrategyFactory = Callable[..., Strategy]
+
+STRATEGY_REGISTRY: Dict[str, StrategyFactory] = {
+    # conventional FL
+    "fedavg": FedAvg,
+    "fedprox": FedProx,
+    "oort": Oort,
+    "refl": REFL,
+    # shared sparse training
+    "prunefl": PruneFL,
+    "cs": ComplementSparsification,
+    "efd": FedDropout,
+    "fjord": FjORD,
+    "heterofl": HeteroFL,
+    "fedrolex": FedRolex,
+    "fedmp": FedMP,
+    "depthfl": DepthFL,
+    # personalized FL
+    "ditto": Ditto,
+    "fedper": FedPer,
+    "fedrep": FedRep,
+    "perfedavg": PerFedAvg,
+    # personalized sparse FL
+    "lotteryfl": LotteryFL,
+    "hermes": Hermes,
+    "fedspa": FedSpa,
+    "fedp3": FedP3,
+    # ours + ablations
+    "fedlps": FedLPS,
+    "flst": ablations.flst,
+    "rcr": ablations.rcr,
+    "p-ucbv": ablations.pucbv,
+}
+
+#: the method ordering used when printing Table I
+TABLE1_METHODS: List[str] = [
+    "fedavg", "fedprox", "oort", "refl", "prunefl", "cs", "efd", "fjord",
+    "heterofl", "fedrolex", "fedmp", "depthfl", "ditto", "fedper", "fedrep",
+    "perfedavg", "lotteryfl", "hermes", "fedspa", "fedp3", "fedlps",
+]
+
+
+def available_strategies() -> List[str]:
+    """Names accepted by :func:`build_strategy`."""
+    return sorted(STRATEGY_REGISTRY)
+
+
+def build_strategy(name: str, **kwargs) -> Strategy:
+    """Instantiate a strategy by its registry name."""
+    key = name.lower()
+    if key not in STRATEGY_REGISTRY:
+        raise ValueError(
+            f"unknown strategy {name!r}; available: {available_strategies()}")
+    return STRATEGY_REGISTRY[key](**kwargs)

@@ -1,0 +1,88 @@
+"""Convergence-analysis helpers (Lemma 1 and Theorem 1).
+
+These functions implement the closed-form bounds of the paper's analysis so
+that tests can check (a) the algebraic behaviour of the bounds (monotonicity
+in the problem constants, vanishing as ``R`` grows) and (b) that simulated
+runs on toy problems respect the Lemma 1 parameter-gap bound when the
+learning-rate constraint is satisfied.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+def max_learning_rate(local_iterations: int, total_rounds: int, v_max: float,
+                      smoothness: float) -> float:
+    """The learning-rate ceiling ``eta_r <= sqrt(1 / (24 E R V_r L^2))``."""
+    if local_iterations <= 0 or total_rounds <= 0:
+        raise ValueError("local_iterations and total_rounds must be positive")
+    if v_max <= 0 or smoothness <= 0:
+        raise ValueError("v_max and smoothness must be positive")
+    return float(np.sqrt(1.0 / (24.0 * local_iterations * total_rounds
+                                * v_max * smoothness ** 2)))
+
+
+def lemma1_gap_bound(local_iterations: int, learning_rate: float,
+                     gradient_bias: float, gradient_distance: float,
+                     gradient_norm: float) -> float:
+    """Lemma 1: bound on the mean squared gap between local and global params.
+
+    ``5 E eta^2 (sigma^2 + 6 E B^2 + 18 E H^2)``.
+    """
+    if local_iterations <= 0:
+        raise ValueError("local_iterations must be positive")
+    if learning_rate <= 0:
+        raise ValueError("learning_rate must be positive")
+    e = local_iterations
+    return float(5.0 * e * learning_rate ** 2
+                 * (gradient_bias ** 2 + 6.0 * e * gradient_distance ** 2
+                    + 18.0 * e * gradient_norm ** 2))
+
+
+def theorem1_bound(total_rounds: int, local_iterations: int, num_clients: int,
+                   initial_gap: float, *, gradient_bias: float,
+                   gradient_distance: float, gradient_norm: float,
+                   smoothness: float, v_max: float) -> float:
+    """Theorem 1: bound on the average squared gradient norm over ``R`` rounds."""
+    if total_rounds <= 0 or local_iterations <= 0 or num_clients <= 0:
+        raise ValueError("rounds, iterations and clients must be positive")
+    if initial_gap < 0:
+        raise ValueError("initial_gap (f0 - f*) must be non-negative")
+    r = float(total_rounds)
+    e = float(local_iterations)
+    phi = 4.0 * np.sqrt(6.0) * smoothness * np.sqrt(v_max)
+    varphi = np.sqrt(e / (6.0 * v_max))
+    sigma2 = gradient_bias ** 2
+    variance_term = (sigma2 + 6.0 * e * gradient_distance ** 2
+                     + 18.0 * e * gradient_norm ** 2)
+    bound = (phi / np.sqrt(e * r) * initial_gap
+             + varphi / np.sqrt(r) * (2.0 * gradient_norm ** 2
+                                      + sigma2 / (num_clients * e))
+             + (5.0 / (24.0 * r) + 5.0 * varphi / (12.0 * r * np.sqrt(r)))
+             * variance_term)
+    return float(bound)
+
+
+def empirical_parameter_gap(local_params: Iterable[Mapping[str, np.ndarray]],
+                            global_params: Mapping[str, np.ndarray]) -> float:
+    """Mean squared L2 gap between a set of local snapshots and the global one."""
+    gaps = []
+    for params in local_params:
+        total = 0.0
+        for key, value in global_params.items():
+            diff = np.asarray(params[key]) - np.asarray(value)
+            total += float(np.sum(diff ** 2))
+        gaps.append(total)
+    if not gaps:
+        raise ValueError("no local parameter snapshots provided")
+    return float(np.mean(gaps))
+
+
+def gradient_norm_trajectory(gradient_norms: Sequence[float]) -> float:
+    """Average squared gradient norm over a trajectory (the Theorem 1 LHS)."""
+    if not gradient_norms:
+        raise ValueError("gradient_norms must not be empty")
+    return float(np.mean(np.square(gradient_norms)))

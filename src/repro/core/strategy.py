@@ -1,0 +1,222 @@
+"""The FedLPS strategy: learnable patterns + P-UCBV adaptive ratios.
+
+The class also exposes the knobs the paper ablates (Table II / Figure 9a):
+
+* ``ratio_policy``: ``"pucbv"`` (adaptive, the full method), ``"fixed"``
+  (a constant ratio for every client, the FLST ablation) or ``"capability"``
+  (the rigid Resource-Controlled Ratio rule used by HeteroFL/FjORD/FedRolex);
+* ``pattern_mode``: ``"learnable"`` (importance-derived, the full method) or
+  one of the heuristic strategies (``"random"``, ``"ordered"``,
+  ``"magnitude"``) for the pattern ablation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..federated.client import Client
+from ..federated.local import train_locally
+from ..federated.strategy import ClientUpdate, Strategy, StrategyContext
+from ..federated.aggregation import aggregate_residuals
+from ..nn.params import ParamDict, multiply, subtract
+from ..sparsity.masks import UnitPattern, build_parameter_mask
+from ..sparsity.patterns import heuristic_pattern
+from ..systems.cost import CostBreakdown
+from ..systems.devices import affordable_ratio
+from .bandit import PUCBVAgent
+from .importance import ImportanceIndicator, initialize_importance
+from .sparse_training import learnable_sparse_training
+
+RATIO_POLICIES = ("pucbv", "fixed", "capability")
+PATTERN_MODES = ("learnable", "random", "ordered", "magnitude")
+
+
+class FedLPS(Strategy):
+    """Learnable Personalized Sparsification for heterogeneous FL."""
+
+    name = "fedlps"
+
+    def __init__(self, *, ratio_policy: str = "pucbv",
+                 pattern_mode: str = "learnable",
+                 fixed_ratio: float = 0.5,
+                 ratio_min: float = 0.4,
+                 num_initial_partitions: int = 4,
+                 accuracy_threshold: float = 0.5,
+                 rho: float = 1.0,
+                 importance_learning_rate: Optional[float] = 0.02) -> None:
+        # Defaults note: the paper's arm space is [0, 1) and the importance
+        # indicator shares the model's learning rate.  With this
+        # reproduction's scaled-down backbones, sub-models below ~40% of the
+        # architecture cannot represent a client's local task at all, and the
+        # raw learning rate makes the top-k pattern oscillate, so the default
+        # arm-space floor and importance learning rate are re-tuned
+        # (documented in DESIGN.md); both remain constructor arguments.
+        super().__init__()
+        if ratio_policy not in RATIO_POLICIES:
+            raise ValueError(f"ratio_policy must be one of {RATIO_POLICIES}")
+        if pattern_mode not in PATTERN_MODES:
+            raise ValueError(f"pattern_mode must be one of {PATTERN_MODES}")
+        if not 0.0 < fixed_ratio <= 1.0:
+            raise ValueError("fixed_ratio must be in (0, 1]")
+        self.ratio_policy = ratio_policy
+        self.pattern_mode = pattern_mode
+        self.fixed_ratio = fixed_ratio
+        self.ratio_min = ratio_min
+        self.num_initial_partitions = num_initial_partitions
+        self.accuracy_threshold = accuracy_threshold
+        self.rho = rho
+        self.importance_learning_rate = importance_learning_rate
+        if ratio_policy != "pucbv":
+            self.name = f"fedlps[{ratio_policy}/{pattern_mode}]"
+        elif pattern_mode != "learnable":
+            self.name = f"fedlps[{pattern_mode}]"
+
+    # ------------------------------------------------------------ lifecycle
+    def setup(self, context: StrategyContext) -> None:
+        super().setup(context)
+        config = context.config
+        selection_fraction = config.clients_per_round / max(len(context.clients), 1)
+        baseline_accuracy = 100.0 / max(context.dataset.num_classes, 2)
+        for client_id, client in context.clients.items():
+            state = client.state
+            state["importance"] = None
+            state["prev_accuracy"] = baseline_accuracy
+            state["personal_params"] = None
+            state["personal_pattern"] = None
+            if self.ratio_policy == "pucbv":
+                agent = PUCBVAgent(
+                    total_rounds=config.num_rounds,
+                    num_clients=len(context.clients),
+                    selection_fraction=selection_fraction,
+                    num_initial_partitions=self.num_initial_partitions,
+                    accuracy_threshold=self.accuracy_threshold,
+                    rho=self.rho, ratio_min=self.ratio_min,
+                    seed=config.seed * 7919 + client_id)
+                state["agent"] = agent
+                state["ratio"] = agent.initial_ratio()
+            elif self.ratio_policy == "fixed":
+                state["agent"] = None
+                state["ratio"] = self.fixed_ratio
+            else:  # capability-controlled rigid rule
+                state["agent"] = None
+                state["ratio"] = affordable_ratio(client.capability)
+
+    # --------------------------------------------------------- local update
+    def local_update(self, round_index: int, client: Client) -> ClientUpdate:
+        context = self._require_context()
+        config = context.config
+        state = client.state
+        ratio = self._effective_ratio(client)
+        rng = self._client_rng(round_index, client.client_id)
+
+        if self.pattern_mode == "learnable":
+            importance = state.get("importance")
+            if importance is None:
+                importance = initialize_importance(
+                    context.model, seed=config.seed * 104_729 + client.client_id)
+            result = learnable_sparse_training(
+                context.model, self.global_params, importance, client.train_data,
+                sparse_ratio=ratio, iterations=config.local_iterations,
+                batch_size=config.batch_size, learning_rate=config.learning_rate,
+                momentum=config.momentum, clip_norm=config.clip_norm,
+                prox_mu=config.prox_mu,
+                importance_lambda=config.importance_lambda,
+                importance_learning_rate=self.importance_learning_rate, rng=rng)
+            pattern = result.pattern
+            residual = result.residual
+            personalized = result.personalized_params
+            state["importance"] = result.importance
+            train_accuracy = result.train_accuracy
+            train_loss = result.train_loss
+        else:
+            pattern, residual, personalized, train_accuracy, train_loss = \
+                self._heuristic_update(round_index, client, ratio, rng)
+
+        state["personal_params"] = personalized
+        state["personal_pattern"] = pattern
+        state["last_ratio"] = ratio
+
+        flops, upload, download = self._round_footprint(client, pattern=pattern)
+        return ClientUpdate(
+            client_id=client.client_id, params=residual,
+            num_examples=client.num_train_examples,
+            train_accuracy=train_accuracy, train_loss=train_loss,
+            pattern=pattern, sparse_ratio=ratio, flops=flops,
+            upload_bytes=upload, download_bytes=download)
+
+    def _heuristic_update(self, round_index: int, client: Client, ratio: float,
+                          rng: np.random.Generator
+                          ) -> Tuple[UnitPattern, ParamDict, ParamDict, float, float]:
+        """Pattern-ablation path: heuristic pattern + masked sparse training."""
+        context = self._require_context()
+        config = context.config
+        context.model.set_parameters(self.global_params)
+        pattern = heuristic_pattern(self.pattern_mode, context.model, ratio,
+                                    round_index=round_index, rng=rng)
+        param_mask = build_parameter_mask(context.model, pattern)
+        result = train_locally(
+            context.model, self.global_params, client.train_data,
+            iterations=config.local_iterations, batch_size=config.batch_size,
+            learning_rate=config.learning_rate, momentum=config.momentum,
+            clip_norm=config.clip_norm, prox_mu=config.prox_mu,
+            prox_center=self.global_params, pattern=pattern,
+            param_mask=param_mask, rng=rng)
+        personalized = multiply(result.params, param_mask)
+        residual = multiply(subtract(self.global_params, result.params), param_mask)
+        return pattern, residual, personalized, result.train_accuracy, result.train_loss
+
+    def _effective_ratio(self, client: Client) -> float:
+        """Cap the server-decided ratio by the client's capability (Sec. III-B).
+
+        The cap uses :func:`affordable_ratio`, i.e. the capability translated
+        into the largest sub-model fraction the device can host given this
+        reproduction's scaled-down backbones (see DESIGN.md).
+        """
+        ratio = client.state.get("ratio", self.fixed_ratio)
+        cap = affordable_ratio(client.capability)
+        if self.ratio_policy == "capability":
+            ratio = cap
+        elif self.ratio_policy == "fixed":
+            # the paper's fixed-ratio experiments (FLST, Figure 9) assign the
+            # same ratio to every client regardless of capability
+            ratio = self.fixed_ratio
+            return float(np.clip(ratio, min(self.ratio_min, ratio), 1.0))
+        ratio = min(ratio, cap)
+        return float(np.clip(ratio, self.ratio_min, 1.0))
+
+    # ----------------------------------------------------------- aggregation
+    def aggregate(self, round_index: int, updates: List[ClientUpdate]) -> None:
+        """FedLPS aggregation of masked residuals (Eq. 13)."""
+        if not updates:
+            return
+        self.global_params = aggregate_residuals(
+            self.global_params,
+            [update.params for update in updates],
+            [update.num_examples for update in updates])
+
+    # ------------------------------------------------------------ evaluation
+    def client_evaluation(self, client: Client) -> Tuple[ParamDict, Optional[UnitPattern]]:
+        personal = client.state.get("personal_params")
+        if personal is None:
+            return self.global_params, None
+        return personal, client.state.get("personal_pattern")
+
+    # ------------------------------------------------------------- post-round
+    def post_round(self, round_index: int, updates: List[ClientUpdate],
+                   costs: Mapping[int, CostBreakdown]) -> None:
+        """Online sparse-ratio decision for the clients that participated."""
+        context = self._require_context()
+        for update in updates:
+            client = context.clients[update.client_id]
+            state = client.state
+            accuracy_percent = 100.0 * update.train_accuracy
+            previous = state.get("prev_accuracy", accuracy_percent)
+            if self.ratio_policy == "pucbv":
+                agent: PUCBVAgent = state["agent"]
+                cost_seconds = max(costs[update.client_id].total_seconds, 1e-9)
+                next_ratio = agent.observe_and_select(
+                    update.sparse_ratio, cost_seconds, accuracy_percent, previous)
+                state["ratio"] = float(np.clip(next_ratio, self.ratio_min, 1.0))
+            state["prev_accuracy"] = accuracy_percent

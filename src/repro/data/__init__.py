@@ -1,0 +1,37 @@
+"""Synthetic datasets, non-IID partitioners and loaders."""
+
+from .dataset import ClientData, DataLoader, Dataset, FederatedDataset
+from .partition import (build_federated_dataset, dirichlet_partition,
+                        iid_partition, partition_to_clients,
+                        pathological_partition,
+                        pathological_partition_missing_classes)
+from .synthetic import (DATASET_BUILDERS, IMAGE_SPECS, ImageSpec, TextSpec,
+                        make_image_classification,
+                        make_personalized_image_shards, synthetic_cifar10,
+                        synthetic_cifar100, synthetic_mnist, synthetic_reddit,
+                        synthetic_reddit_users, synthetic_tinyimagenet)
+
+__all__ = [
+    "Dataset",
+    "DataLoader",
+    "ClientData",
+    "FederatedDataset",
+    "build_federated_dataset",
+    "iid_partition",
+    "pathological_partition",
+    "pathological_partition_missing_classes",
+    "dirichlet_partition",
+    "partition_to_clients",
+    "ImageSpec",
+    "TextSpec",
+    "IMAGE_SPECS",
+    "DATASET_BUILDERS",
+    "make_image_classification",
+    "make_personalized_image_shards",
+    "synthetic_mnist",
+    "synthetic_cifar10",
+    "synthetic_cifar100",
+    "synthetic_tinyimagenet",
+    "synthetic_reddit",
+    "synthetic_reddit_users",
+]

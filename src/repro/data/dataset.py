@@ -1,0 +1,139 @@
+"""Dataset containers and batching utilities for federated simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """A supervised dataset: features ``x`` and integer labels ``y``.
+
+    ``x`` keeps whatever shape the model expects (images ``(N, C, H, W)``,
+    flat features ``(N, D)`` or token windows ``(N, T)``); ``y`` is ``(N,)``.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x)
+        self.y = np.asarray(self.y)
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"feature/label count mismatch: {len(self.x)} vs {len(self.y)}")
+
+    def __len__(self) -> int:
+        return int(len(self.y))
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct labels present (0 for an empty dataset)."""
+        return int(len(np.unique(self.y))) if len(self.y) else 0
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """Dataset restricted to ``indices`` (copying the selected rows)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Dataset(self.x[indices].copy(), self.y[indices].copy())
+
+    def class_counts(self, num_classes: Optional[int] = None) -> np.ndarray:
+        """Histogram of labels, length ``num_classes`` (inferred if omitted)."""
+        if num_classes is None:
+            num_classes = int(self.y.max()) + 1 if len(self.y) else 0
+        return np.bincount(self.y.astype(np.int64), minlength=num_classes)
+
+    def split(self, test_fraction: float, *, seed: int = 0) -> Tuple["Dataset", "Dataset"]:
+        """Random train/test split preserving no particular class balance."""
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError("test_fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        n_test = max(1, int(round(test_fraction * len(self))))
+        test_idx, train_idx = order[:n_test], order[n_test:]
+        if len(train_idx) == 0:
+            raise ValueError("split left no training examples")
+        return self.subset(train_idx), self.subset(test_idx)
+
+
+class DataLoader:
+    """Mini-batch iterator with deterministic shuffling.
+
+    Each call to :meth:`__iter__` reshuffles with a fresh stream drawn from
+    the loader's generator, so successive epochs see different orders while
+    the whole sequence stays reproducible for a given seed.
+    """
+
+    def __init__(self, dataset: Dataset, batch_size: int, *, shuffle: bool = True,
+                 seed: int = 0, drop_last: bool = False) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if len(dataset) == 0:
+            raise ValueError("cannot build a DataLoader over an empty dataset")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch = indices[start:start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                break
+            yield self.dataset.x[batch], self.dataset.y[batch]
+
+
+@dataclass
+class ClientData:
+    """The local train/test shard owned by one simulated client."""
+
+    client_id: int
+    train: Dataset
+    test: Dataset
+
+    @property
+    def num_train_examples(self) -> int:
+        return len(self.train)
+
+
+@dataclass
+class FederatedDataset:
+    """All client shards plus dataset-level metadata."""
+
+    name: str
+    clients: Dict[int, ClientData]
+    num_classes: int
+    input_shape: Tuple[int, ...]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.clients)
+
+    @property
+    def client_ids(self) -> List[int]:
+        return sorted(self.clients.keys())
+
+    def client(self, client_id: int) -> ClientData:
+        if client_id not in self.clients:
+            raise KeyError(f"no client with id {client_id}")
+        return self.clients[client_id]
+
+    def total_train_examples(self) -> int:
+        return int(sum(len(shard.train) for shard in self.clients.values()))
+
+    def average_local_accuracy_weights(self) -> Dict[int, float]:
+        """Per-client weights proportional to local train size (|D_k|)."""
+        return {cid: float(len(shard.train)) for cid, shard in self.clients.items()}

@@ -1,0 +1,216 @@
+"""Non-IID partitioning strategies for federated simulation.
+
+The paper's main experiments use the *pathological* partition (every client
+holds data from only a few classes).  The Dirichlet partition and the IID
+partition are provided for the non-IID-level sweeps and as sanity baselines;
+the Reddit-style corpus is partitioned naturally (one user = one client).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .dataset import ClientData, Dataset, FederatedDataset
+from .synthetic import (IMAGE_SPECS, TextSpec, make_image_classification,
+                        make_personalized_image_shards, synthetic_reddit_users)
+
+
+def iid_partition(dataset: Dataset, num_clients: int, *, seed: int = 0
+                  ) -> List[np.ndarray]:
+    """Shuffle and deal examples evenly across clients."""
+    if num_clients <= 0:
+        raise ValueError("num_clients must be positive")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(dataset))
+    return [np.sort(part) for part in np.array_split(order, num_clients)]
+
+
+def pathological_partition(dataset: Dataset, num_clients: int,
+                           classes_per_client: int, *, seed: int = 0
+                           ) -> List[np.ndarray]:
+    """Pathological label-skew partition.
+
+    Every client is assigned ``classes_per_client`` classes and receives an
+    equal share of the examples of each assigned class, following the shard
+    construction used by the paper (and originally by McMahan et al.).
+    """
+    if num_clients <= 0:
+        raise ValueError("num_clients must be positive")
+    labels = dataset.y.astype(np.int64)
+    num_classes = int(labels.max()) + 1
+    if not 1 <= classes_per_client <= num_classes:
+        raise ValueError(
+            f"classes_per_client must be in [1, {num_classes}], "
+            f"got {classes_per_client}")
+    rng = np.random.default_rng(seed)
+
+    # Assign class identities to clients so that every class is covered about
+    # equally often across the federation.
+    assignments: List[np.ndarray] = []
+    class_pool = rng.permutation(
+        np.tile(np.arange(num_classes),
+                int(np.ceil(num_clients * classes_per_client / num_classes))))
+    cursor = 0
+    for _ in range(num_clients):
+        chosen: List[int] = []
+        while len(chosen) < classes_per_client:
+            candidate = int(class_pool[cursor % len(class_pool)])
+            cursor += 1
+            if candidate not in chosen:
+                chosen.append(candidate)
+        assignments.append(np.array(chosen))
+
+    # Split every class's examples into equal shards among the clients that
+    # requested the class.
+    per_class_indices = {c: rng.permutation(np.where(labels == c)[0])
+                         for c in range(num_classes)}
+    demand = {c: 0 for c in range(num_classes)}
+    for chosen in assignments:
+        for c in chosen:
+            demand[int(c)] += 1
+    shards: Dict[int, List[np.ndarray]] = {}
+    for c, indices in per_class_indices.items():
+        splits = np.array_split(indices, max(demand[c], 1))
+        shards[c] = list(splits)
+    cursors = {c: 0 for c in range(num_classes)}
+
+    partitions: List[np.ndarray] = []
+    for chosen in assignments:
+        pieces = []
+        for c in chosen:
+            c = int(c)
+            shard = shards[c][cursors[c] % len(shards[c])]
+            cursors[c] += 1
+            pieces.append(shard)
+        indices = np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.int64)
+        partitions.append(np.sort(indices.astype(np.int64)))
+    return partitions
+
+
+def dirichlet_partition(dataset: Dataset, num_clients: int, alpha: float, *,
+                        seed: int = 0, min_examples: int = 2) -> List[np.ndarray]:
+    """Dirichlet label-skew partition (lower ``alpha`` = more skew)."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    labels = dataset.y.astype(np.int64)
+    num_classes = int(labels.max()) + 1
+    rng = np.random.default_rng(seed)
+    for _ in range(20):
+        partitions: List[List[int]] = [[] for _ in range(num_clients)]
+        for c in range(num_classes):
+            class_indices = rng.permutation(np.where(labels == c)[0])
+            proportions = rng.dirichlet(np.full(num_clients, alpha))
+            boundaries = (np.cumsum(proportions) * len(class_indices)).astype(int)[:-1]
+            for client, piece in enumerate(np.split(class_indices, boundaries)):
+                partitions[client].extend(piece.tolist())
+        if min(len(part) for part in partitions) >= min_examples:
+            return [np.sort(np.array(part, dtype=np.int64)) for part in partitions]
+    raise RuntimeError(
+        "could not build a Dirichlet partition giving every client at least "
+        f"{min_examples} examples; increase data size or alpha")
+
+
+def partition_to_clients(dataset: Dataset, partitions: List[np.ndarray], *,
+                         test_fraction: float = 0.2, seed: int = 0
+                         ) -> Dict[int, ClientData]:
+    """Turn index partitions into per-client train/test shards."""
+    clients: Dict[int, ClientData] = {}
+    for client_id, indices in enumerate(partitions):
+        if len(indices) < 2:
+            raise ValueError(
+                f"client {client_id} received {len(indices)} examples; "
+                "every client needs at least 2 to split into train/test")
+        shard = dataset.subset(indices)
+        train, test = shard.split(test_fraction, seed=seed + client_id)
+        clients[client_id] = ClientData(client_id, train, test)
+    return clients
+
+
+def build_federated_dataset(name: str, num_clients: int, *,
+                            partition: str = "pathological",
+                            classes_per_client: int = 2,
+                            dirichlet_alpha: float = 0.5,
+                            examples_per_client: int = 60,
+                            test_fraction: float = 0.25,
+                            style_scale: float = 2.5,
+                            seed: int = 0) -> FederatedDataset:
+    """Build a federated dataset for one of the five paper benchmarks.
+
+    The default ``pathological`` partition combines the paper's label-skew
+    shards with a client-specific style shift (see
+    :func:`make_personalized_image_shards`), which is what makes the data
+    genuinely non-IID for a shared global model.  ``dirichlet`` and ``iid``
+    partitions operate on a pooled dataset without styles and are provided
+    for sweeps and sanity baselines.  The Reddit stand-in is always
+    partitioned naturally (one synthetic user per client) because it is
+    inherently non-IID, exactly as in the paper.
+    """
+    name = name.lower()
+    if num_clients <= 0:
+        raise ValueError("num_clients must be positive")
+
+    if name == "reddit":
+        user_datasets, spec = synthetic_reddit_users(
+            num_clients, examples_per_client, seed=seed)
+        clients: Dict[int, ClientData] = {}
+        for client_id, shard in enumerate(user_datasets):
+            train, test = shard.split(test_fraction, seed=seed + client_id)
+            clients[client_id] = ClientData(client_id, train, test)
+        return FederatedDataset(
+            name="reddit", clients=clients, num_classes=spec.vocab_size,
+            input_shape=(spec.seq_len,),
+            metadata={"task": "next_word", "vocab_size": spec.vocab_size,
+                      "partition": "natural"})
+
+    if name not in IMAGE_SPECS:
+        raise ValueError(f"unknown dataset {name!r}")
+    spec = IMAGE_SPECS[name]
+
+    if partition == "pathological":
+        shards = make_personalized_image_shards(
+            spec, num_clients, classes_per_client, examples_per_client,
+            style_scale=style_scale, seed=seed)
+        clients = {}
+        for client_id, shard in enumerate(shards):
+            train, test = shard.split(test_fraction, seed=seed + client_id)
+            clients[client_id] = ClientData(client_id, train, test)
+    else:
+        total_examples = examples_per_client * num_clients
+        dataset = make_image_classification(spec, total_examples, seed=seed)
+        if partition == "dirichlet":
+            parts = dirichlet_partition(dataset, num_clients, dirichlet_alpha,
+                                        seed=seed)
+        elif partition == "iid":
+            parts = iid_partition(dataset, num_clients, seed=seed)
+        else:
+            raise ValueError(f"unknown partition strategy {partition!r}")
+        clients = partition_to_clients(dataset, parts,
+                                       test_fraction=test_fraction, seed=seed)
+
+    return FederatedDataset(
+        name=name, clients=clients, num_classes=spec.num_classes,
+        input_shape=(spec.channels, spec.image_size, spec.image_size),
+        metadata={"task": "image_classification", "partition": partition,
+                  "classes_per_client": classes_per_client,
+                  "dirichlet_alpha": dirichlet_alpha,
+                  "style_scale": style_scale})
+
+
+def pathological_partition_missing_classes(dataset: Dataset, num_clients: int,
+                                           missing_classes: int, *,
+                                           seed: int = 0) -> List[np.ndarray]:
+    """Partition used by the non-IID-level sweep (Figure 6).
+
+    The paper's sweep is parameterized by how many classes each client *lacks*
+    (``x`` on the horizontal axis); this wrapper converts that to the
+    classes-per-client parameter of :func:`pathological_partition`.
+    """
+    labels = dataset.y.astype(np.int64)
+    num_classes = int(labels.max()) + 1
+    classes_per_client = num_classes - missing_classes
+    if classes_per_client < 1:
+        raise ValueError(
+            f"missing_classes={missing_classes} leaves no class for clients")
+    return pathological_partition(dataset, num_clients, classes_per_client, seed=seed)

@@ -1,0 +1,34 @@
+"""Experiment harness: presets, runner and per-table/figure reproduction."""
+
+from .figures import (FIGURE3_METHODS, accuracy_vs_flops, accuracy_vs_time,
+                      heterogeneity_sweep, noniid_level_sweep,
+                      pattern_ratio_sweep, time_to_accuracy)
+from .presets import (DATASETS, DEFAULT_PRESETS, ExperimentPreset,
+                      build_experiment, preset_for, scaled)
+from .runner import (format_rows, run_across_datasets, run_method, run_methods,
+                     summarize)
+from .tables import histories_to_rows, table1_accuracy_flops, table2_ablation
+
+__all__ = [
+    "ExperimentPreset",
+    "DATASETS",
+    "DEFAULT_PRESETS",
+    "preset_for",
+    "scaled",
+    "build_experiment",
+    "run_method",
+    "run_methods",
+    "run_across_datasets",
+    "summarize",
+    "format_rows",
+    "table1_accuracy_flops",
+    "table2_ablation",
+    "histories_to_rows",
+    "accuracy_vs_flops",
+    "accuracy_vs_time",
+    "time_to_accuracy",
+    "noniid_level_sweep",
+    "heterogeneity_sweep",
+    "pattern_ratio_sweep",
+    "FIGURE3_METHODS",
+]

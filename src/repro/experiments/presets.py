@@ -1,0 +1,103 @@
+"""Experiment presets: per-dataset configuration of the paper's evaluation.
+
+The paper runs 100 communication rounds with 50-100 clients and full-size
+backbones.  The presets below keep the same *structure* (five datasets, five
+capability tiers, pathological non-IID partitions, SGD with dataset-specific
+learning rates) at a scale where every experiment finishes on a CPU in
+seconds to minutes.  Every field can be overridden through
+:func:`scaled`, which the benchmark harness uses to shrink runs further for
+CI and to enlarge them for paper-scale replication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional
+
+from ..data import FederatedDataset, build_federated_dataset
+from ..federated import FederatedConfig
+from ..models import build_model_for_dataset
+from ..nn.model import Sequential
+from ..systems import DeviceFleet, sample_device_fleet
+from ..systems.devices import HETEROGENEITY_PRESETS
+
+#: the five datasets of the paper's evaluation
+DATASETS = ("mnist", "cifar10", "cifar100", "tinyimagenet", "reddit")
+
+
+@dataclass(frozen=True)
+class ExperimentPreset:
+    """Everything needed to instantiate one dataset's federated experiment."""
+
+    dataset: str
+    num_clients: int = 16
+    examples_per_client: int = 60
+    classes_per_client: int = 2
+    num_rounds: int = 20
+    clients_per_round: int = 4
+    local_iterations: int = 8
+    batch_size: int = 16
+    learning_rate: float = 0.1
+    clip_norm: Optional[float] = 5.0
+    heterogeneity: str = "high"
+    dynamic_resources: bool = False
+    style_scale: float = 2.5
+    seed: int = 0
+    extra_config: Dict[str, float] = field(default_factory=dict)
+
+
+DEFAULT_PRESETS: Dict[str, ExperimentPreset] = {
+    "mnist": ExperimentPreset(dataset="mnist", classes_per_client=2),
+    "cifar10": ExperimentPreset(dataset="cifar10", classes_per_client=2),
+    "cifar100": ExperimentPreset(dataset="cifar100", classes_per_client=4),
+    "tinyimagenet": ExperimentPreset(dataset="tinyimagenet", classes_per_client=8),
+    # next-word prediction needs a larger learning rate, as in the paper
+    # (they use 8 with gradient clipping for the LSTM model)
+    "reddit": ExperimentPreset(dataset="reddit", learning_rate=1.5,
+                               examples_per_client=80, classes_per_client=2),
+}
+
+
+def preset_for(dataset: str) -> ExperimentPreset:
+    """The default preset for one of the five paper datasets."""
+    key = dataset.lower()
+    if key not in DEFAULT_PRESETS:
+        raise ValueError(f"unknown dataset {dataset!r}; choose from {DATASETS}")
+    return DEFAULT_PRESETS[key]
+
+
+def scaled(preset: ExperimentPreset, **overrides) -> ExperimentPreset:
+    """A copy of ``preset`` with the given fields replaced."""
+    return replace(preset, **overrides)
+
+
+def build_experiment(preset: ExperimentPreset
+                     ) -> tuple[FederatedDataset, Callable[[], Sequential],
+                                FederatedConfig, DeviceFleet]:
+    """Materialize the dataset, model builder, config and device fleet."""
+    if preset.heterogeneity not in HETEROGENEITY_PRESETS:
+        raise ValueError(
+            f"unknown heterogeneity level {preset.heterogeneity!r}")
+    dataset = build_federated_dataset(
+        preset.dataset, preset.num_clients,
+        classes_per_client=preset.classes_per_client,
+        examples_per_client=preset.examples_per_client,
+        style_scale=preset.style_scale, seed=preset.seed)
+    config = FederatedConfig(
+        num_rounds=preset.num_rounds,
+        clients_per_round=preset.clients_per_round,
+        local_iterations=preset.local_iterations,
+        batch_size=preset.batch_size,
+        learning_rate=preset.learning_rate,
+        clip_norm=preset.clip_norm,
+        seed=preset.seed,
+        extra=dict(preset.extra_config))
+    fleet = sample_device_fleet(
+        preset.num_clients,
+        levels=HETEROGENEITY_PRESETS[preset.heterogeneity],
+        dynamic=preset.dynamic_resources, seed=preset.seed)
+
+    def model_builder() -> Sequential:
+        return build_model_for_dataset(preset.dataset, seed=preset.seed)
+
+    return dataset, model_builder, config, fleet

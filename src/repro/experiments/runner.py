@@ -1,0 +1,75 @@
+"""Running one method on one preset, and small sweep helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..baselines import build_strategy
+from ..federated import FederatedTrainer
+from ..federated.strategy import Strategy
+from ..systems import TrainingHistory
+from .presets import ExperimentPreset, build_experiment, preset_for, scaled
+
+
+def run_method(method: str, preset: ExperimentPreset, *,
+               strategy: Optional[Strategy] = None,
+               strategy_kwargs: Optional[dict] = None) -> TrainingHistory:
+    """Run one method on one experiment preset and return its history.
+
+    ``method`` is a registry name (see ``repro.baselines.available_strategies``);
+    a pre-built ``strategy`` instance can be passed instead for ablation
+    variants that need custom constructor arguments.
+    """
+    dataset, model_builder, config, fleet = build_experiment(preset)
+    strat = strategy if strategy is not None \
+        else build_strategy(method, **(strategy_kwargs or {}))
+    trainer = FederatedTrainer(strat, dataset, model_builder, config=config,
+                               fleet=fleet)
+    history = trainer.run()
+    history.dataset = preset.dataset
+    return history
+
+
+def run_methods(methods: Iterable[str], preset: ExperimentPreset
+                ) -> Dict[str, TrainingHistory]:
+    """Run several registry methods on the same preset."""
+    return {method: run_method(method, preset) for method in methods}
+
+
+def run_across_datasets(method: str, datasets: Iterable[str], *,
+                        overrides: Optional[dict] = None
+                        ) -> Dict[str, TrainingHistory]:
+    """Run one method on several datasets with shared preset overrides."""
+    overrides = overrides or {}
+    results: Dict[str, TrainingHistory] = {}
+    for dataset in datasets:
+        preset = scaled(preset_for(dataset), **overrides)
+        results[dataset] = run_method(method, preset)
+    return results
+
+
+def summarize(history: TrainingHistory, *, last_rounds: int = 3) -> Dict[str, float]:
+    """Headline numbers extracted from one run (the Table I columns)."""
+    return {
+        "accuracy": history.final_accuracy(last_rounds),
+        "best_accuracy": history.best_accuracy(),
+        "total_flops": history.total_flops,
+        "total_time_seconds": history.total_time_seconds,
+        "total_upload_bytes": history.total_upload_bytes,
+    }
+
+
+def format_rows(rows: List[Dict[str, object]], columns: List[str]) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    header = " | ".join(f"{name:>18s}" for name in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = []
+        for name in columns:
+            value = row.get(name, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>18.4g}")
+            else:
+                cells.append(f"{str(value):>18s}")
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Reproduction of the paper's tables.
+
+* :func:`table1_accuracy_flops` — Table I: test accuracy and total training
+  FLOPs of every method on the requested datasets.
+* :func:`table2_ablation` — Table II: FLST / RCR-Fix / P-UCBV-Fix / RCR-Dyn /
+  P-UCBV-Dyn accuracy and FLOPs under static and dynamic device resources.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..baselines import TABLE1_METHODS, ablations, build_strategy
+from ..systems import TrainingHistory
+from .presets import ExperimentPreset, preset_for, scaled
+from .runner import run_method, summarize
+
+
+def table1_accuracy_flops(datasets: Iterable[str] = ("mnist",),
+                          methods: Optional[Iterable[str]] = None,
+                          overrides: Optional[dict] = None
+                          ) -> List[Dict[str, object]]:
+    """Rows of Table I: one row per (method, dataset).
+
+    ``overrides`` shrinks or enlarges the presets (rounds, clients, ...), which
+    is how the benchmark harness keeps the full 21-method sweep tractable.
+    """
+    methods = list(methods) if methods is not None else list(TABLE1_METHODS)
+    overrides = overrides or {}
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        preset = scaled(preset_for(dataset), **overrides)
+        for method in methods:
+            history = run_method(method, preset)
+            summary = summarize(history)
+            rows.append({
+                "method": method,
+                "dataset": dataset,
+                "accuracy": summary["accuracy"],
+                "total_flops": summary["total_flops"],
+                "total_time_seconds": summary["total_time_seconds"],
+            })
+    return rows
+
+
+def table2_ablation(dataset: str = "mnist",
+                    overrides: Optional[dict] = None,
+                    fixed_ratio: float = 0.5) -> List[Dict[str, object]]:
+    """Rows of Table II: the FedLPS ablation grid.
+
+    * FLST — learnable pattern, fixed ratio, static resources.
+    * RCR-Fix / P-UCBV-Fix — rigid vs adaptive ratios, static resources.
+    * RCR-Dyn / P-UCBV-Dyn — the same under dynamically fluctuating resources.
+    """
+    overrides = overrides or {}
+    static = scaled(preset_for(dataset), dynamic_resources=False, **overrides)
+    dynamic = scaled(preset_for(dataset), dynamic_resources=True, **overrides)
+    variants = [
+        ("FLST", static, lambda: ablations.flst(fixed_ratio=fixed_ratio)),
+        ("RCR-Fix", static, ablations.rcr),
+        ("P-UCBV-Fix", static, ablations.pucbv),
+        ("RCR-Dyn", dynamic, ablations.rcr),
+        ("P-UCBV-Dyn", dynamic, ablations.pucbv),
+    ]
+    rows: List[Dict[str, object]] = []
+    for label, preset, factory in variants:
+        history = run_method(label, preset, strategy=factory())
+        summary = summarize(history)
+        rows.append({
+            "variant": label,
+            "dataset": dataset,
+            "accuracy": summary["accuracy"],
+            "total_flops": summary["total_flops"],
+            "total_time_seconds": summary["total_time_seconds"],
+        })
+    return rows
+
+
+def histories_to_rows(histories: Dict[str, TrainingHistory]
+                      ) -> List[Dict[str, object]]:
+    """Summarize a ``{method: history}`` mapping into table rows."""
+    rows = []
+    for method, history in histories.items():
+        summary = summarize(history)
+        rows.append({"method": method, "dataset": history.dataset, **summary})
+    return rows

@@ -1,0 +1,29 @@
+"""Federated-learning substrate: clients, strategies, trainer, aggregation."""
+
+from .aggregation import (aggregate_residuals, fedavg, masked_average,
+                          staleness_weighted_average)
+from .client import Client
+from .config import FederatedConfig
+from .evaluation import average_personalized_accuracy, evaluate_params
+from .local import LocalUpdateResult, iterate_batches, train_locally
+from .strategy import ClientUpdate, Strategy, StrategyContext
+from .trainer import FederatedTrainer, run_federated
+
+__all__ = [
+    "Client",
+    "FederatedConfig",
+    "Strategy",
+    "StrategyContext",
+    "ClientUpdate",
+    "FederatedTrainer",
+    "run_federated",
+    "train_locally",
+    "iterate_batches",
+    "LocalUpdateResult",
+    "evaluate_params",
+    "average_personalized_accuracy",
+    "fedavg",
+    "aggregate_residuals",
+    "masked_average",
+    "staleness_weighted_average",
+]

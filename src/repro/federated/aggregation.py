@@ -1,0 +1,88 @@
+"""Server-side aggregation rules."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.params import ParamDict, copy_params, weighted_average, zeros_like
+
+
+def fedavg(updates: Sequence[Mapping[str, np.ndarray]],
+           weights: Sequence[float]) -> ParamDict:
+    """Classic FedAvg: data-size-weighted average of local parameters."""
+    return weighted_average(updates, weights)
+
+
+def aggregate_residuals(global_params: Mapping[str, np.ndarray],
+                        residuals: Sequence[Mapping[str, np.ndarray]],
+                        weights: Sequence[float]) -> ParamDict:
+    """FedLPS aggregation (Eq. 13).
+
+    Every client uploads the masked residual ``r_k = (w_global - w_k) * m_k``;
+    the server averages ``w_global - r_k`` weighted by the local data sizes.
+    Because each client's mask is different, the averaged update is relatively
+    dense even though every individual upload is sparse.
+    """
+    if len(residuals) != len(weights):
+        raise ValueError("residuals and weights must have the same length")
+    if not residuals:
+        return copy_params(global_params)
+    reconstructed = []
+    for residual in residuals:
+        reconstructed.append({key: global_params[key] - residual[key]
+                              for key in global_params})
+    return weighted_average(reconstructed, weights)
+
+
+def masked_average(global_params: Mapping[str, np.ndarray],
+                   updates: Sequence[Mapping[str, np.ndarray]],
+                   masks: Sequence[Mapping[str, np.ndarray]],
+                   weights: Optional[Sequence[float]] = None) -> ParamDict:
+    """Coverage-aware averaging used by HeteroFL-style heterogeneous models.
+
+    Each parameter entry is averaged only over the clients whose mask carries
+    that entry; entries carried by nobody keep their previous global value.
+    """
+    if len(updates) != len(masks):
+        raise ValueError("updates and masks must have the same length")
+    if not updates:
+        return copy_params(global_params)
+    if weights is None:
+        weights = [1.0] * len(updates)
+    if len(weights) != len(updates):
+        raise ValueError("weights must match updates in length")
+    numerator = zeros_like(global_params)
+    denominator = zeros_like(global_params)
+    for update, mask, weight in zip(updates, masks, weights):
+        for key in numerator:
+            numerator[key] += weight * mask[key] * update[key]
+            denominator[key] += weight * mask[key]
+    result: ParamDict = {}
+    for key in numerator:
+        covered = denominator[key] > 0
+        merged = np.array(global_params[key], copy=True)
+        merged[covered] = numerator[key][covered] / denominator[key][covered]
+        result[key] = merged
+    return result
+
+
+def staleness_weighted_average(
+        entries: Iterable[Tuple[Mapping[str, np.ndarray], float, int]],
+        *, decay: float = 0.5) -> ParamDict:
+    """REFL-style aggregation that discounts stale updates.
+
+    ``entries`` yields ``(params, weight, staleness)`` triples; an update that
+    is ``staleness`` rounds old is discounted by ``decay ** staleness``.
+    """
+    params_list: List[Mapping[str, np.ndarray]] = []
+    weight_list: List[float] = []
+    for params, weight, staleness in entries:
+        if staleness < 0:
+            raise ValueError("staleness must be non-negative")
+        params_list.append(params)
+        weight_list.append(weight * (decay ** staleness))
+    if not params_list:
+        raise ValueError("cannot aggregate zero updates")
+    return weighted_average(params_list, weight_list)

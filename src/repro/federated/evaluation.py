@@ -1,0 +1,61 @@
+"""Evaluation of global and personalized models on client test shards."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..nn import accuracy, softmax_cross_entropy
+from ..nn.model import Sequential
+from ..sparsity.masks import gates_from_pattern
+
+
+def evaluate_params(model: Sequential, params: Mapping[str, np.ndarray],
+                    dataset: Dataset, *, batch_size: int = 64,
+                    pattern: Optional[Mapping[str, np.ndarray]] = None
+                    ) -> Dict[str, float]:
+    """Loss and accuracy of ``params`` on ``dataset``.
+
+    ``pattern`` installs structured gates for methods whose inference model is
+    a sub-model of the global architecture.
+    """
+    if len(dataset) == 0:
+        raise ValueError("cannot evaluate on an empty dataset")
+    model.set_parameters(params)
+    if pattern is not None:
+        model.set_unit_gates(gates_from_pattern(pattern))
+    losses = []
+    correct = 0.0
+    total = 0
+    for start in range(0, len(dataset), batch_size):
+        batch_x = dataset.x[start:start + batch_size]
+        batch_y = dataset.y[start:start + batch_size]
+        logits = model.forward(batch_x, train=False)
+        loss, _ = softmax_cross_entropy(logits, batch_y)
+        losses.append(loss * len(batch_y))
+        correct += accuracy(logits, batch_y) * len(batch_y)
+        total += len(batch_y)
+    model.set_unit_gates(None)
+    return {"loss": float(np.sum(losses) / total), "accuracy": float(correct / total)}
+
+
+def average_personalized_accuracy(model: Sequential,
+                                  params_by_client: Mapping[int, Mapping[str, np.ndarray]],
+                                  test_sets: Mapping[int, Dataset], *,
+                                  patterns_by_client: Optional[
+                                      Mapping[int, Mapping[str, np.ndarray]]] = None,
+                                  batch_size: int = 64) -> float:
+    """The paper's headline metric: mean local-test accuracy across clients."""
+    if not params_by_client:
+        raise ValueError("no client parameters to evaluate")
+    accuracies = []
+    for client_id, params in params_by_client.items():
+        pattern = None
+        if patterns_by_client is not None:
+            pattern = patterns_by_client.get(client_id)
+        result = evaluate_params(model, params, test_sets[client_id],
+                                 batch_size=batch_size, pattern=pattern)
+        accuracies.append(result["accuracy"])
+    return float(np.mean(accuracies))

@@ -1,0 +1,161 @@
+"""Strategy interface: how a federated method plugs into the simulator.
+
+A strategy owns the global model state and decides
+
+* which clients participate in a round (``select_clients``),
+* what a client computes locally and what it uploads (``local_update``),
+* how the server merges uploads (``aggregate``),
+* which parameters each client uses for inference (``client_evaluation``),
+* any end-of-round bookkeeping such as bandit updates (``post_round``).
+
+The :class:`FederatedTrainer` drives the round loop, converts the uploaded
+footprints into simulated time through the cost model and records metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..data.dataset import FederatedDataset
+from ..nn.model import Sequential
+from ..nn.params import ParamDict, copy_params
+from ..sparsity.accounting import local_round_cost
+from ..sparsity.masks import UnitPattern
+from ..systems.cost import CostBreakdown, LocalCostModel
+from ..systems.devices import DeviceFleet
+from .aggregation import fedavg
+from .client import Client
+from .config import FederatedConfig
+from .local import train_locally
+
+
+@dataclass
+class StrategyContext:
+    """Everything a strategy needs to run: model, data, devices, config."""
+
+    model: Sequential
+    clients: Dict[int, Client]
+    dataset: FederatedDataset
+    fleet: DeviceFleet
+    config: FederatedConfig
+    cost_model: LocalCostModel
+    rng: np.random.Generator
+
+    @property
+    def client_ids(self) -> List[int]:
+        return sorted(self.clients.keys())
+
+
+@dataclass
+class ClientUpdate:
+    """What one client reports back to the server after a round."""
+
+    client_id: int
+    params: ParamDict
+    num_examples: int
+    train_accuracy: float
+    train_loss: float
+    pattern: Optional[UnitPattern] = None
+    sparse_ratio: float = 1.0
+    flops: float = 0.0
+    upload_bytes: float = 0.0
+    download_bytes: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+class Strategy:
+    """Base class implementing plain FedAvg behaviour.
+
+    Subclasses override the hooks they need; the base implementations are a
+    correct dense-FL method on their own (and are what the FedAvg baseline
+    uses directly).
+    """
+
+    name = "fedavg"
+
+    def __init__(self) -> None:
+        self.context: Optional[StrategyContext] = None
+        self.global_params: Optional[ParamDict] = None
+
+    # ------------------------------------------------------------ lifecycle
+    def setup(self, context: StrategyContext) -> None:
+        self.context = context
+        self.global_params = context.model.get_parameters()
+
+    def _require_context(self) -> StrategyContext:
+        if self.context is None or self.global_params is None:
+            raise RuntimeError("strategy used before setup() was called")
+        return self.context
+
+    # ------------------------------------------------------------ selection
+    def select_clients(self, round_index: int) -> List[int]:
+        """Uniformly random selection of ``clients_per_round`` clients."""
+        context = self._require_context()
+        ids = context.client_ids
+        count = min(context.config.clients_per_round, len(ids))
+        chosen = context.rng.choice(ids, size=count, replace=False)
+        return sorted(int(cid) for cid in chosen)
+
+    # --------------------------------------------------------- local update
+    def local_update(self, round_index: int, client: Client) -> ClientUpdate:
+        """Dense local SGD starting from the global parameters."""
+        context = self._require_context()
+        config = context.config
+        result = train_locally(
+            context.model, self.global_params, client.train_data,
+            iterations=config.local_iterations, batch_size=config.batch_size,
+            learning_rate=config.learning_rate, momentum=config.momentum,
+            clip_norm=config.clip_norm,
+            rng=self._client_rng(round_index, client.client_id))
+        flops, upload, download = self._round_footprint(client, pattern=None)
+        return ClientUpdate(
+            client_id=client.client_id, params=result.params,
+            num_examples=client.num_train_examples,
+            train_accuracy=result.train_accuracy, train_loss=result.train_loss,
+            flops=flops, upload_bytes=upload, download_bytes=download)
+
+    # ----------------------------------------------------------- aggregation
+    def aggregate(self, round_index: int, updates: List[ClientUpdate]) -> None:
+        """FedAvg: weighted average of the uploaded parameters."""
+        if not updates:
+            return
+        self.global_params = fedavg(
+            [update.params for update in updates],
+            [update.num_examples for update in updates])
+
+    # ------------------------------------------------------------ evaluation
+    def client_evaluation(self, client: Client) -> Tuple[ParamDict, Optional[UnitPattern]]:
+        """Parameters (and optional sub-model pattern) the client infers with."""
+        self._require_context()
+        return self.global_params, None
+
+    # ------------------------------------------------------------- post-round
+    def post_round(self, round_index: int, updates: List[ClientUpdate],
+                   costs: Mapping[int, CostBreakdown]) -> None:
+        """Hook for bandit updates, staleness bookkeeping, etc."""
+
+    # --------------------------------------------------------------- helpers
+    def _client_rng(self, round_index: int, client_id: int) -> np.random.Generator:
+        context = self._require_context()
+        return np.random.default_rng(
+            context.config.seed * 1_000_003 + round_index * 1009 + client_id)
+
+    def _round_footprint(self, client: Client, *,
+                         pattern: Optional[UnitPattern] = None,
+                         uniform_ratio: Optional[float] = None
+                         ) -> Tuple[float, float, float]:
+        """FLOPs / upload / download footprint of one local round."""
+        context = self._require_context()
+        config = context.config
+        cost = local_round_cost(
+            context.model, client.num_train_examples, config.local_iterations,
+            config.batch_size, pattern=pattern, uniform_ratio=uniform_ratio)
+        return cost.flops, cost.upload_bytes, cost.download_bytes
+
+    def snapshot_global(self) -> ParamDict:
+        """A defensive copy of the current global parameters."""
+        self._require_context()
+        return copy_params(self.global_params)

@@ -1,0 +1,127 @@
+"""The federated round loop: orchestration, cost accounting and metrics."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..data.dataset import FederatedDataset
+from ..nn.model import Sequential
+from ..sparsity.accounting import SparseCost
+from ..systems.cost import CostBreakdown, LocalCostModel
+from ..systems.devices import DeviceFleet, sample_device_fleet
+from ..systems.metrics import RoundRecord, TrainingHistory
+from .client import Client
+from .config import FederatedConfig
+from .evaluation import evaluate_params
+from .strategy import Strategy, StrategyContext
+
+
+class FederatedTrainer:
+    """Runs a federated simulation for one strategy on one federated dataset.
+
+    The trainer is strategy-agnostic: it asks the strategy for client
+    selections, local updates and aggregation, translates the reported
+    computation/communication footprints into simulated wall-clock time
+    through the cost model, and evaluates the personalized models on every
+    client's local test shard.
+    """
+
+    def __init__(self, strategy: Strategy, dataset: FederatedDataset,
+                 model_builder: Callable[[], Sequential], *,
+                 config: Optional[FederatedConfig] = None,
+                 fleet: Optional[DeviceFleet] = None,
+                 cost_model: Optional[LocalCostModel] = None) -> None:
+        self.strategy = strategy
+        self.dataset = dataset
+        self.config = config or FederatedConfig()
+        self.fleet = fleet or sample_device_fleet(dataset.num_clients,
+                                                  seed=self.config.seed)
+        if len(self.fleet) != dataset.num_clients:
+            raise ValueError(
+                f"device fleet has {len(self.fleet)} profiles but the dataset "
+                f"has {dataset.num_clients} clients")
+        self.cost_model = cost_model or LocalCostModel(self.config.cost_alpha,
+                                                       seed=self.config.seed)
+        self.model = model_builder()
+        self.clients: Dict[int, Client] = {
+            cid: Client(cid, dataset.client(cid), self.fleet[cid])
+            for cid in dataset.client_ids
+        }
+        self.context = StrategyContext(
+            model=self.model, clients=self.clients, dataset=dataset,
+            fleet=self.fleet, config=self.config, cost_model=self.cost_model,
+            rng=np.random.default_rng(self.config.seed))
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> TrainingHistory:
+        """Execute ``config.num_rounds`` rounds and return the history."""
+        history = TrainingHistory(method=self.strategy.name,
+                                  dataset=self.dataset.name)
+        self.strategy.setup(self.context)
+        cumulative_flops = 0.0
+        cumulative_time = 0.0
+        for round_index in range(self.config.num_rounds):
+            selected = self.strategy.select_clients(round_index)
+            updates = [self.strategy.local_update(round_index, self.clients[cid])
+                       for cid in selected]
+            self.strategy.aggregate(round_index, updates)
+
+            costs: Dict[int, CostBreakdown] = {}
+            round_flops = 0.0
+            upload = 0.0
+            download = 0.0
+            for update in updates:
+                device = self.fleet[update.client_id]
+                footprint = SparseCost(update.flops, update.upload_bytes,
+                                       update.download_bytes)
+                costs[update.client_id] = self.cost_model.client_cost(
+                    device, footprint, round_index)
+                round_flops += update.flops
+                upload += update.upload_bytes
+                download += update.download_bytes
+            round_time = LocalCostModel.round_time(costs.values())
+            self.strategy.post_round(round_index, updates, costs)
+
+            cumulative_flops += round_flops
+            cumulative_time += round_time
+            train_accuracy = (float(np.mean([u.train_accuracy for u in updates]))
+                              if updates else 0.0)
+            should_eval = ((round_index + 1) % self.config.eval_every == 0
+                           or round_index == self.config.num_rounds - 1)
+            test_accuracy = (self.evaluate_personalized()
+                             if should_eval else
+                             (history.records[-1].test_accuracy
+                              if history.records else 0.0))
+            history.append(RoundRecord(
+                round_index=round_index, selected_clients=selected,
+                train_accuracy=train_accuracy, test_accuracy=test_accuracy,
+                round_flops=round_flops, round_time_seconds=round_time,
+                upload_bytes=upload, download_bytes=download,
+                cumulative_flops=cumulative_flops,
+                cumulative_time_seconds=cumulative_time,
+                sparse_ratios={u.client_id: u.sparse_ratio for u in updates}))
+        return history
+
+    # ------------------------------------------------------------ evaluation
+    def evaluate_personalized(self) -> float:
+        """Average accuracy of every client's inference model on its test shard."""
+        accuracies = []
+        for client_id, client in self.clients.items():
+            params, pattern = self.strategy.client_evaluation(client)
+            result = evaluate_params(self.model, params, client.test_data,
+                                     pattern=pattern)
+            accuracies.append(result["accuracy"])
+        return float(np.mean(accuracies)) if accuracies else 0.0
+
+
+def run_federated(strategy: Strategy, dataset: FederatedDataset,
+                  model_builder: Callable[[], Sequential], *,
+                  config: Optional[FederatedConfig] = None,
+                  fleet: Optional[DeviceFleet] = None,
+                  cost_model: Optional[LocalCostModel] = None) -> TrainingHistory:
+    """Convenience wrapper: build a trainer and run it."""
+    trainer = FederatedTrainer(strategy, dataset, model_builder, config=config,
+                               fleet=fleet, cost_model=cost_model)
+    return trainer.run()

@@ -1,0 +1,52 @@
+"""``repro.nn``: a from-scratch numpy neural-network substrate.
+
+The package provides layers with hand-written forward/backward passes,
+losses, an SGD optimizer, a :class:`Sequential` model container and the
+structured-unit machinery (unit gates, unit masks, per-unit magnitudes) that
+FedLPS's learnable sparsification builds on.
+"""
+
+from .activations import Dropout, Flatten, ReLU, Sigmoid, Tanh, sigmoid, softmax
+from .base import Layer
+from .conv import AvgPool2d, Conv2d, MaxPool2d
+from .dense import Dense
+from .embedding import Embedding
+from .losses import accuracy, mean_squared_error, softmax_cross_entropy
+from .model import Sequential, UnitGroup
+from .optim import SGD, clip_gradients, global_grad_norm
+from .recurrent import LSTM, RNN, LastTimestep
+from .serialization import (load_parameters, nonzero_parameter_bytes,
+                            parameter_bytes, save_parameters)
+from . import params
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "Flatten",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "Embedding",
+    "RNN",
+    "LSTM",
+    "LastTimestep",
+    "Sequential",
+    "UnitGroup",
+    "SGD",
+    "clip_gradients",
+    "global_grad_norm",
+    "softmax",
+    "sigmoid",
+    "softmax_cross_entropy",
+    "mean_squared_error",
+    "accuracy",
+    "save_parameters",
+    "load_parameters",
+    "parameter_bytes",
+    "nonzero_parameter_bytes",
+    "params",
+]

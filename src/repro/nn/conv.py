@@ -1,0 +1,221 @@
+"""2-D convolution and pooling layers (im2col implementation)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from . import initializers
+from .base import Array, Layer, ParamDict, as_float
+
+
+def _im2col(x: Array, kernel: int, stride: int, padding: int) -> Tuple[Array, int, int]:
+    """Unfold ``x`` of shape (N, C, H, W) into columns.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(N * out_h * out_w, C * kernel * kernel)``.
+    """
+    n, c, h, w = x.shape
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    ph, pw = h + 2 * padding, w + 2 * padding
+    out_h = (ph - kernel) // stride + 1
+    out_w = (pw - kernel) // stride + 1
+    strides = x.strides
+    shape = (n, c, out_h, out_w, kernel, kernel)
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=shape,
+        strides=(strides[0], strides[1], strides[2] * stride, strides[3] * stride,
+                 strides[2], strides[3]),
+        writeable=False,
+    )
+    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kernel * kernel)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def _col2im(cols: Array, x_shape: Tuple[int, int, int, int], kernel: int,
+            stride: int, padding: int, out_h: int, out_w: int) -> Array:
+    """Fold columns back into an image, summing overlapping contributions."""
+    n, c, h, w = x_shape
+    ph, pw = h + 2 * padding, w + 2 * padding
+    x_padded = np.zeros((n, c, ph, pw), dtype=np.float64)
+    cols = cols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(0, 3, 1, 2, 4, 5)
+    for i in range(kernel):
+        for j in range(kernel):
+            x_padded[:, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride] += \
+                cols[:, :, :, :, i, j]
+    if padding > 0:
+        return x_padded[:, :, padding:padding + h, padding:padding + w]
+    return x_padded
+
+
+class Conv2d(Layer):
+    """2-D convolution.  Sparsifiable units are the output channels."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int, *,
+                 stride: int = 1, padding: int = 0, name: str = "conv",
+                 sparsifiable: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__(name)
+        if kernel_size <= 0 or stride <= 0:
+            raise ValueError("kernel_size and stride must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.sparsifiable = sparsifiable
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel_size * kernel_size
+        self.params = {
+            "W": initializers.he_uniform(
+                rng, (out_channels, in_channels, kernel_size, kernel_size), fan_in),
+            "b": initializers.zeros((out_channels,)),
+        }
+        self.zero_grad()
+        self._cols: Array | None = None
+        self._x_shape: Tuple[int, int, int, int] | None = None
+        self._out_hw: Tuple[int, int] | None = None
+        self._pre_gate: Array | None = None
+
+    def forward(self, x: Array, *, train: bool = True) -> Array:
+        x = as_float(x)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected input (N, {self.in_channels}, H, W), got {x.shape}")
+        n = x.shape[0]
+        cols, out_h, out_w = _im2col(x, self.kernel_size, self.stride, self.padding)
+        w_mat = self.params["W"].reshape(self.out_channels, -1)
+        out = cols @ w_mat.T + self.params["b"]
+        out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        self._cols = cols
+        self._x_shape = x.shape
+        self._out_hw = (out_h, out_w)
+        self._pre_gate = out
+        return self._apply_unit_gate(out, unit_axis=1)
+
+    def backward(self, grad_out: Array) -> Array:
+        if self._cols is None or self._x_shape is None or self._out_hw is None:
+            raise RuntimeError("backward called before forward")
+        grad_pre = self._accumulate_gate_grad(grad_out, self._pre_gate, unit_axis=1)
+        n = self._x_shape[0]
+        out_h, out_w = self._out_hw
+        grad_mat = grad_pre.transpose(0, 2, 3, 1).reshape(n * out_h * out_w,
+                                                          self.out_channels)
+        w_mat = self.params["W"].reshape(self.out_channels, -1)
+        self.grads["W"] += (grad_mat.T @ self._cols).reshape(self.params["W"].shape)
+        self.grads["b"] += np.sum(grad_mat, axis=0)
+        grad_cols = grad_mat @ w_mat
+        return _col2im(grad_cols, self._x_shape, self.kernel_size, self.stride,
+                       self.padding, out_h, out_w)
+
+    @property
+    def n_units(self) -> int:
+        return self.out_channels if self.sparsifiable else 0
+
+    def expand_unit_mask(self, unit_mask: Array) -> ParamDict:
+        unit_mask = np.asarray(unit_mask, dtype=np.float64)
+        if unit_mask.shape != (self.out_channels,):
+            raise ValueError(
+                f"{self.name}: unit mask must have shape ({self.out_channels},), "
+                f"got {unit_mask.shape}")
+        w_mask = np.broadcast_to(
+            unit_mask[:, None, None, None], self.params["W"].shape).copy()
+        return {"W": w_mask, "b": unit_mask.copy()}
+
+    def unit_weight_magnitude(self) -> Array:
+        return (np.sum(np.abs(self.params["W"]), axis=(1, 2, 3))
+                + np.abs(self.params["b"]))
+
+    def flops_per_example(self, input_shape: Tuple[int, ...]) -> Tuple[int, Tuple[int, ...]]:
+        if len(input_shape) != 3:
+            raise ValueError(f"{self.name}: conv layer expects (C, H, W) input shape")
+        _, h, w = input_shape
+        out_h = (h + 2 * self.padding - self.kernel_size) // self.stride + 1
+        out_w = (w + 2 * self.padding - self.kernel_size) // self.stride + 1
+        flops_per_position = 2 * self.in_channels * self.kernel_size * self.kernel_size
+        flops = flops_per_position * self.out_channels * out_h * out_w
+        return flops, (self.out_channels, out_h, out_w)
+
+
+class MaxPool2d(Layer):
+    """Non-overlapping max pooling (kernel == stride)."""
+
+    trainable = False
+
+    def __init__(self, kernel_size: int, name: str = "maxpool") -> None:
+        super().__init__(name)
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self._argmax: Array | None = None
+        self._x_shape: Tuple[int, ...] | None = None
+
+    def forward(self, x: Array, *, train: bool = True) -> Array:
+        x = as_float(x)
+        n, c, h, w = x.shape
+        k = self.kernel_size
+        if h % k != 0 or w % k != 0:
+            raise ValueError(
+                f"{self.name}: spatial dims ({h}, {w}) must be divisible by {k}")
+        reshaped = x.reshape(n, c, h // k, k, w // k, k).transpose(0, 1, 2, 4, 3, 5)
+        windows = reshaped.reshape(n, c, h // k, w // k, k * k)
+        self._argmax = np.argmax(windows, axis=-1)
+        self._x_shape = x.shape
+        return np.max(windows, axis=-1)
+
+    def backward(self, grad_out: Array) -> Array:
+        if self._argmax is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        k = self.kernel_size
+        grad_windows = np.zeros((n, c, h // k, w // k, k * k), dtype=np.float64)
+        np.put_along_axis(grad_windows, self._argmax[..., None],
+                          grad_out[..., None], axis=-1)
+        grad_x = grad_windows.reshape(n, c, h // k, w // k, k, k)
+        grad_x = grad_x.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h, w)
+        return grad_x
+
+    def flops_per_example(self, input_shape: Tuple[int, ...]) -> Tuple[int, Tuple[int, ...]]:
+        c, h, w = input_shape
+        k = self.kernel_size
+        return 0, (c, h // k, w // k)
+
+
+class AvgPool2d(Layer):
+    """Non-overlapping average pooling (kernel == stride)."""
+
+    trainable = False
+
+    def __init__(self, kernel_size: int, name: str = "avgpool") -> None:
+        super().__init__(name)
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self._x_shape: Tuple[int, ...] | None = None
+
+    def forward(self, x: Array, *, train: bool = True) -> Array:
+        x = as_float(x)
+        n, c, h, w = x.shape
+        k = self.kernel_size
+        if h % k != 0 or w % k != 0:
+            raise ValueError(
+                f"{self.name}: spatial dims ({h}, {w}) must be divisible by {k}")
+        self._x_shape = x.shape
+        reshaped = x.reshape(n, c, h // k, k, w // k, k)
+        return reshaped.mean(axis=(3, 5))
+
+    def backward(self, grad_out: Array) -> Array:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        k = self.kernel_size
+        grad = np.repeat(np.repeat(grad_out, k, axis=2), k, axis=3) / (k * k)
+        return grad
+
+    def flops_per_example(self, input_shape: Tuple[int, ...]) -> Tuple[int, Tuple[int, ...]]:
+        c, h, w = input_shape
+        k = self.kernel_size
+        return 0, (c, h // k, w // k)

@@ -1,0 +1,56 @@
+"""Loss functions returning ``(loss_value, gradient_wrt_predictions)``."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .activations import softmax
+from .base import Array, as_float
+
+
+def softmax_cross_entropy(logits: Array, labels: Array) -> Tuple[float, Array]:
+    """Softmax cross-entropy over the last axis.
+
+    ``logits`` may be ``(N, C)`` or ``(N, T, C)``; ``labels`` are integer
+    class ids of shape ``(N,)`` or ``(N, T)``.  The loss is averaged over all
+    prediction positions and the returned gradient has the shape of
+    ``logits``.
+    """
+    logits = as_float(logits)
+    labels = np.asarray(labels)
+    flat_logits = logits.reshape(-1, logits.shape[-1])
+    flat_labels = labels.reshape(-1)
+    if flat_logits.shape[0] != flat_labels.shape[0]:
+        raise ValueError(
+            f"logits/labels size mismatch: {logits.shape} vs {labels.shape}")
+    n = flat_logits.shape[0]
+    probs = softmax(flat_logits, axis=-1)
+    eps = 1e-12
+    loss = -np.mean(np.log(probs[np.arange(n), flat_labels] + eps))
+    grad = probs.copy()
+    grad[np.arange(n), flat_labels] -= 1.0
+    grad /= n
+    return float(loss), grad.reshape(logits.shape)
+
+
+def mean_squared_error(predictions: Array, targets: Array) -> Tuple[float, Array]:
+    """Mean squared error averaged over every element."""
+    predictions = as_float(predictions)
+    targets = as_float(targets)
+    if predictions.shape != targets.shape:
+        raise ValueError(
+            f"prediction/target shape mismatch: {predictions.shape} vs {targets.shape}")
+    diff = predictions - targets
+    loss = float(np.mean(diff ** 2))
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def accuracy(logits: Array, labels: Array) -> float:
+    """Top-1 classification accuracy for ``(N, C)`` or ``(N, T, C)`` logits."""
+    logits = as_float(logits)
+    labels = np.asarray(labels)
+    predictions = np.argmax(logits, axis=-1)
+    return float(np.mean(predictions == labels))

@@ -1,0 +1,101 @@
+"""Helpers for manipulating flat parameter dictionaries.
+
+Federated learning moves parameter snapshots around constantly (global
+parameters, local updates, residuals, masked uploads).  These helpers give
+that traffic a single, explicit vocabulary: every snapshot is a
+``{"layer.param": ndarray}`` dictionary and every operation returns a new
+dictionary without mutating its inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+import numpy as np
+
+ParamDict = Dict[str, np.ndarray]
+
+
+def copy_params(params: Mapping[str, np.ndarray]) -> ParamDict:
+    """Deep-copy a parameter dictionary."""
+    return {key: np.array(value, copy=True) for key, value in params.items()}
+
+
+def zeros_like(params: Mapping[str, np.ndarray]) -> ParamDict:
+    """A dictionary of zero arrays with the same keys/shapes."""
+    return {key: np.zeros_like(value) for key, value in params.items()}
+
+
+def add(left: Mapping[str, np.ndarray], right: Mapping[str, np.ndarray]) -> ParamDict:
+    """Element-wise sum of two parameter dictionaries."""
+    _check_same_keys(left, right)
+    return {key: left[key] + right[key] for key in left}
+
+
+def subtract(left: Mapping[str, np.ndarray], right: Mapping[str, np.ndarray]) -> ParamDict:
+    """Element-wise difference ``left - right``."""
+    _check_same_keys(left, right)
+    return {key: left[key] - right[key] for key in left}
+
+
+def scale(params: Mapping[str, np.ndarray], factor: float) -> ParamDict:
+    """Multiply every entry by ``factor``."""
+    return {key: value * factor for key, value in params.items()}
+
+
+def multiply(left: Mapping[str, np.ndarray], right: Mapping[str, np.ndarray]) -> ParamDict:
+    """Element-wise (Hadamard) product, e.g. ``omega * mask``."""
+    _check_same_keys(left, right)
+    return {key: left[key] * right[key] for key in left}
+
+
+def weighted_average(param_dicts: Iterable[Mapping[str, np.ndarray]],
+                     weights: Iterable[float]) -> ParamDict:
+    """Weighted average of parameter dictionaries (weights are normalized)."""
+    param_list = list(param_dicts)
+    weight_list = [float(w) for w in weights]
+    if not param_list:
+        raise ValueError("cannot average an empty collection of parameters")
+    if len(param_list) != len(weight_list):
+        raise ValueError("parameter dictionaries and weights must have equal length")
+    total = sum(weight_list)
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    result = zeros_like(param_list[0])
+    for params, weight in zip(param_list, weight_list):
+        _check_same_keys(result, params)
+        for key in result:
+            result[key] += params[key] * (weight / total)
+    return result
+
+
+def flatten(params: Mapping[str, np.ndarray]) -> np.ndarray:
+    """Concatenate all entries (sorted by key) into a single 1-D vector."""
+    return np.concatenate([np.ravel(params[key]) for key in sorted(params)]) \
+        if params else np.zeros(0)
+
+
+def l2_norm(params: Mapping[str, np.ndarray]) -> float:
+    """Global L2 norm of a parameter dictionary."""
+    return float(np.sqrt(sum(float(np.sum(v ** 2)) for v in params.values())))
+
+
+def l2_distance(left: Mapping[str, np.ndarray], right: Mapping[str, np.ndarray]) -> float:
+    """Global L2 distance between two parameter dictionaries."""
+    return l2_norm(subtract(left, right))
+
+
+def num_parameters(params: Mapping[str, np.ndarray]) -> int:
+    """Total number of scalar parameters."""
+    return int(sum(value.size for value in params.values()))
+
+
+def count_nonzero(params: Mapping[str, np.ndarray]) -> int:
+    """Number of non-zero scalar entries (used for sparse upload accounting)."""
+    return int(sum(np.count_nonzero(value) for value in params.values()))
+
+
+def _check_same_keys(left: Mapping[str, np.ndarray], right: Mapping[str, np.ndarray]) -> None:
+    if set(left.keys()) != set(right.keys()):
+        missing = set(left.keys()) ^ set(right.keys())
+        raise KeyError(f"parameter dictionaries differ in keys: {sorted(missing)}")

@@ -1,0 +1,46 @@
+"""Parameter snapshot (de)serialization.
+
+Snapshots are stored as ``.npz`` archives; keys are the ``"layer.param"``
+names used throughout the federated stack.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Union
+
+import numpy as np
+
+from .params import ParamDict
+
+
+def save_parameters(path: Union[str, Path], params: Mapping[str, np.ndarray]) -> Path:
+    """Write a parameter snapshot to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **{key: np.asarray(value) for key, value in params.items()})
+    return path
+
+
+def load_parameters(path: Union[str, Path]) -> ParamDict:
+    """Load a parameter snapshot previously written by :func:`save_parameters`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no parameter snapshot at {path}")
+    with np.load(path) as archive:
+        return {key: np.array(archive[key]) for key in archive.files}
+
+
+def parameter_bytes(params: Mapping[str, np.ndarray],
+                    bytes_per_value: int = 4) -> int:
+    """Size in bytes of a snapshot when transmitted as ``float32`` values."""
+    return int(sum(value.size for value in params.values()) * bytes_per_value)
+
+
+def nonzero_parameter_bytes(params: Mapping[str, np.ndarray],
+                            bytes_per_value: int = 4) -> int:
+    """Transmitted size when only non-zero values are sent (sparse upload)."""
+    return int(sum(np.count_nonzero(value) for value in params.values())
+               * bytes_per_value)

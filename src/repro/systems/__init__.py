@@ -1,0 +1,26 @@
+"""Device capability, cost and metrics simulation."""
+
+from .cost import CostBreakdown, LocalCostModel
+from .devices import (CAPABILITY_LEVELS, HETEROGENEITY_PRESETS,
+                      MIN_AFFORDABLE_RATIO, REFERENCE_BANDWIDTH_BYTES,
+                      REFERENCE_FLOPS_PER_SECOND, DeviceFleet, DeviceProfile,
+                      affordable_ratio, fleet_for_heterogeneity,
+                      sample_device_fleet)
+from .metrics import RoundRecord, TrainingHistory
+
+__all__ = [
+    "DeviceProfile",
+    "DeviceFleet",
+    "sample_device_fleet",
+    "fleet_for_heterogeneity",
+    "CAPABILITY_LEVELS",
+    "HETEROGENEITY_PRESETS",
+    "MIN_AFFORDABLE_RATIO",
+    "affordable_ratio",
+    "REFERENCE_FLOPS_PER_SECOND",
+    "REFERENCE_BANDWIDTH_BYTES",
+    "LocalCostModel",
+    "CostBreakdown",
+    "RoundRecord",
+    "TrainingHistory",
+]

@@ -1,0 +1,115 @@
+"""Training history and evaluation metrics for federated simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class RoundRecord:
+    """Everything the simulator measured about one communication round."""
+
+    round_index: int
+    selected_clients: List[int]
+    train_accuracy: float
+    test_accuracy: float
+    round_flops: float
+    round_time_seconds: float
+    upload_bytes: float
+    download_bytes: float
+    cumulative_flops: float
+    cumulative_time_seconds: float
+    sparse_ratios: Dict[int, float] = field(default_factory=dict)
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class TrainingHistory:
+    """Ordered per-round records plus convenience accessors.
+
+    ``test_accuracy`` is the paper's headline metric: the average accuracy of
+    all clients' (personalized) models on their local test data.
+    """
+
+    method: str
+    dataset: str
+    records: List[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        if self.records and record.round_index <= self.records[-1].round_index:
+            raise ValueError("round records must be appended in increasing order")
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------- series
+    @property
+    def accuracies(self) -> List[float]:
+        return [record.test_accuracy for record in self.records]
+
+    @property
+    def cumulative_flops(self) -> List[float]:
+        return [record.cumulative_flops for record in self.records]
+
+    @property
+    def cumulative_time(self) -> List[float]:
+        return [record.cumulative_time_seconds for record in self.records]
+
+    @property
+    def total_flops(self) -> float:
+        return self.records[-1].cumulative_flops if self.records else 0.0
+
+    @property
+    def total_time_seconds(self) -> float:
+        return self.records[-1].cumulative_time_seconds if self.records else 0.0
+
+    @property
+    def total_upload_bytes(self) -> float:
+        return float(sum(record.upload_bytes for record in self.records))
+
+    # ------------------------------------------------------------ summaries
+    def final_accuracy(self, last_rounds: int = 3) -> float:
+        """Average accuracy over the trailing ``last_rounds`` rounds."""
+        if not self.records:
+            return 0.0
+        tail = self.records[-max(1, last_rounds):]
+        return float(sum(record.test_accuracy for record in tail) / len(tail))
+
+    def best_accuracy(self) -> float:
+        return max(self.accuracies) if self.records else 0.0
+
+    def time_to_accuracy(self, target: float) -> Optional[float]:
+        """Simulated seconds until ``target`` accuracy is first reached."""
+        for record in self.records:
+            if record.test_accuracy >= target:
+                return record.cumulative_time_seconds
+        return None
+
+    def flops_to_accuracy(self, target: float) -> Optional[float]:
+        """Cumulative FLOPs until ``target`` accuracy is first reached."""
+        for record in self.records:
+            if record.test_accuracy >= target:
+                return record.cumulative_flops
+        return None
+
+    def accuracy_at_flops(self, budget: float) -> float:
+        """Best accuracy achieved within a FLOP budget."""
+        best = 0.0
+        for record in self.records:
+            if record.cumulative_flops > budget:
+                break
+            best = max(best, record.test_accuracy)
+        return best
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Flatten the history into plain dictionaries (for tables / CSV)."""
+        return [{
+            "round": record.round_index,
+            "test_accuracy": record.test_accuracy,
+            "train_accuracy": record.train_accuracy,
+            "cumulative_flops": record.cumulative_flops,
+            "cumulative_time_seconds": record.cumulative_time_seconds,
+            "upload_bytes": record.upload_bytes,
+        } for record in self.records]

@@ -1,0 +1,118 @@
+"""Integration-level tests for the FedLPS strategy."""
+
+import numpy as np
+import pytest
+
+from repro.core import FedLPS
+from repro.federated import FederatedConfig, FederatedTrainer, run_federated
+from repro.models import build_model_for_dataset
+from repro.systems import affordable_ratio
+
+
+def builder():
+    return build_model_for_dataset("mnist", seed=0)
+
+
+class TestFedLPSConstruction:
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            FedLPS(ratio_policy="unknown")
+        with pytest.raises(ValueError):
+            FedLPS(pattern_mode="unknown")
+        with pytest.raises(ValueError):
+            FedLPS(fixed_ratio=0.0)
+
+    def test_name_reflects_variant(self):
+        assert FedLPS().name == "fedlps"
+        assert "fixed" in FedLPS(ratio_policy="fixed").name
+        assert "magnitude" in FedLPS(pattern_mode="magnitude").name
+
+
+class TestFedLPSBehaviour:
+    def test_setup_initializes_client_state(self, small_fed_dataset, tiny_config):
+        trainer = FederatedTrainer(FedLPS(), small_fed_dataset, builder,
+                                   config=tiny_config)
+        trainer.strategy.setup(trainer.context)
+        for client in trainer.clients.values():
+            assert "ratio" in client.state
+            assert client.state["agent"] is not None
+            assert 0.0 < client.state["ratio"] <= 1.0
+
+    def test_ratio_capped_by_capability(self, small_fed_dataset, tiny_config):
+        trainer = FederatedTrainer(FedLPS(), small_fed_dataset, builder,
+                                   config=tiny_config)
+        strategy = trainer.strategy
+        strategy.setup(trainer.context)
+        for client in trainer.clients.values():
+            client.state["ratio"] = 1.0
+            update = strategy.local_update(0, client)
+            assert update.sparse_ratio <= affordable_ratio(client.capability) + 1e-9
+
+    def test_residual_upload_respects_mask(self, small_fed_dataset, tiny_config):
+        trainer = FederatedTrainer(FedLPS(), small_fed_dataset, builder,
+                                   config=tiny_config)
+        strategy = trainer.strategy
+        strategy.setup(trainer.context)
+        client = trainer.clients[0]
+        update = strategy.local_update(0, client)
+        mask = trainer.model.expand_unit_masks(
+            {k: np.asarray(v, dtype=float) for k, v in update.pattern.items()})
+        for key, values in update.params.items():
+            assert np.all(values[mask[key] == 0.0] == 0.0)
+
+    def test_personalized_evaluation_uses_stored_model(self, small_fed_dataset,
+                                                       tiny_config):
+        trainer = FederatedTrainer(FedLPS(), small_fed_dataset, builder,
+                                   config=tiny_config)
+        strategy = trainer.strategy
+        strategy.setup(trainer.context)
+        client = trainer.clients[0]
+        params, pattern = strategy.client_evaluation(client)
+        assert pattern is None  # never trained yet -> dense global model
+        strategy.local_update(0, client)
+        params, pattern = strategy.client_evaluation(client)
+        assert pattern is not None
+
+    def test_post_round_updates_ratio_via_bandit(self, small_fed_dataset,
+                                                 tiny_config):
+        trainer = FederatedTrainer(FedLPS(), small_fed_dataset, builder,
+                                   config=tiny_config)
+        strategy = trainer.strategy
+        strategy.setup(trainer.context)
+        client = trainer.clients[0]
+        update = strategy.local_update(0, client)
+        strategy.aggregate(0, [update])
+        from repro.systems import CostBreakdown
+        strategy.post_round(0, [update], {0: CostBreakdown(1.0, 0.5)})
+        assert "prev_accuracy" in client.state
+        assert strategy.ratio_min <= client.state["ratio"] <= 1.0
+
+    def test_full_run_beats_random_guessing(self, small_fed_dataset):
+        config = FederatedConfig(num_rounds=6, clients_per_round=3,
+                                 local_iterations=4, batch_size=10, seed=0)
+        history = run_federated(FedLPS(), small_fed_dataset, builder,
+                                config=config)
+        assert history.final_accuracy() > 1.5 / small_fed_dataset.num_classes
+
+    def test_fedlps_uses_fewer_flops_than_dense(self, small_fed_dataset,
+                                                tiny_config):
+        from repro.federated import Strategy
+        dense = run_federated(Strategy(), small_fed_dataset, builder,
+                              config=tiny_config)
+        sparse = run_federated(FedLPS(), small_fed_dataset, builder,
+                               config=tiny_config)
+        assert sparse.total_flops < dense.total_flops
+
+    @pytest.mark.parametrize("policy", ["fixed", "capability"])
+    def test_ratio_policies_run(self, small_fed_dataset, tiny_config, policy):
+        history = run_federated(FedLPS(ratio_policy=policy), small_fed_dataset,
+                                builder, config=tiny_config)
+        assert len(history) == tiny_config.num_rounds
+
+    @pytest.mark.parametrize("pattern", ["random", "ordered", "magnitude"])
+    def test_pattern_modes_run(self, small_fed_dataset, tiny_config, pattern):
+        history = run_federated(FedLPS(pattern_mode=pattern, ratio_policy="fixed"),
+                                small_fed_dataset, builder, config=tiny_config)
+        assert len(history) == tiny_config.num_rounds
+        ratios = history.records[-1].sparse_ratios
+        assert all(0 < r <= 1 for r in ratios.values())

@@ -1,0 +1,167 @@
+"""Tests for the importance indicator, FedLPS losses and learnable sparse training."""
+
+import numpy as np
+import pytest
+
+from repro.core import (FedLPS, ImportanceIndicator, accuracy_utility,
+                        add_gradients, combine_unit_gradients,
+                        initialize_importance, learnable_sparse_training,
+                        proximal_gradient, proximal_loss, utility_gain)
+from repro.core.importance import smoothed_unit_magnitudes
+from repro.data import Dataset
+from repro.models import build_mlp
+from repro.nn.params import l2_norm
+from repro.sparsity import pattern_keep_ratio, units_to_keep
+
+
+def toy_dataset(n=60, dim=12, classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, dim))
+    w = rng.standard_normal((dim, classes))
+    return Dataset(x, np.argmax(x @ w, axis=1))
+
+
+class TestImportanceIndicator:
+    def test_initialize_shapes(self, small_mlp):
+        importance = initialize_importance(small_mlp, seed=0)
+        assert importance.total_units == small_mlp.total_units
+        for group in small_mlp.unit_groups:
+            assert importance.scores[group.layer_name].shape == (group.n_units,)
+
+    def test_smoothed_magnitudes_in_unit_interval(self, small_mlp):
+        targets = smoothed_unit_magnitudes(small_mlp)
+        for values in targets.values():
+            assert np.all(values > 0.0) and np.all(values < 1.0)
+
+    def test_copy_is_independent(self, small_mlp):
+        importance = initialize_importance(small_mlp, seed=0)
+        clone = importance.copy()
+        clone.scores["fc1"][0] = 99.0
+        assert importance.scores["fc1"][0] != 99.0
+
+    def test_pattern_respects_ratio(self, small_mlp):
+        importance = initialize_importance(small_mlp, seed=0)
+        pattern = importance.pattern(small_mlp, 0.5)
+        for group in small_mlp.unit_groups:
+            assert pattern[group.layer_name].sum() == units_to_keep(group.n_units, 0.5)
+
+    def test_apply_gradient_moves_scores(self, small_mlp):
+        importance = initialize_importance(small_mlp, seed=0)
+        before = importance.scores["fc1"].copy()
+        grads = {name: np.ones_like(values)
+                 for name, values in importance.scores.items()}
+        importance.apply_gradient(grads, 0.1)
+        np.testing.assert_allclose(importance.scores["fc1"], before - 0.1)
+
+    def test_apply_gradient_validates(self, small_mlp):
+        importance = initialize_importance(small_mlp, seed=0)
+        with pytest.raises(ValueError):
+            importance.apply_gradient({}, 0.0)
+        with pytest.raises(ValueError):
+            importance.apply_gradient({"fc1": np.zeros(3)}, 0.1)
+
+    def test_regularization_pulls_towards_targets(self, small_mlp):
+        importance = initialize_importance(small_mlp, seed=0)
+        targets = smoothed_unit_magnitudes(small_mlp)
+        importance.scores = {name: values + 1.0 for name, values in targets.items()}
+        grads = importance.regularization_gradient(small_mlp, 0.5)
+        for values in grads.values():
+            np.testing.assert_allclose(values, 1.0)  # 2 * 0.5 * (Q - target)
+        assert importance.regularization_loss(small_mlp, 0.5) > 0
+
+    def test_vector_roundtrip(self, small_mlp):
+        importance = initialize_importance(small_mlp, seed=0)
+        vector = importance.as_vector(small_mlp)
+        assert vector.shape == (small_mlp.total_units,)
+
+
+class TestCoreLosses:
+    def test_proximal_loss_and_gradient(self):
+        params = {"w": np.array([2.0])}
+        center = {"w": np.array([1.0])}
+        assert proximal_loss(params, center, 0.5) == pytest.approx(0.5)
+        np.testing.assert_allclose(proximal_gradient(params, center, 0.5)["w"], [1.0])
+        with pytest.raises(ValueError):
+            proximal_loss(params, center, -1.0)
+
+    def test_add_and_combine_gradients(self):
+        total = add_gradients({"w": np.array([1.0])}, {"w": np.array([2.0])})
+        np.testing.assert_allclose(total["w"], [3.0])
+        combined = combine_unit_gradients({"fc": np.array([1.0])},
+                                          {"fc": np.array([0.5])})
+        np.testing.assert_allclose(combined["fc"], [1.5])
+
+    def test_utility_function_properties(self):
+        assert accuracy_utility(0.0) == pytest.approx(0.0)
+        assert accuracy_utility(90.0) > accuracy_utility(10.0)
+        # marginal gains shrink near saturation
+        early = utility_gain(20.0, 10.0)
+        late = utility_gain(99.0, 89.0)
+        assert early > late
+        with pytest.raises(ValueError):
+            accuracy_utility(120.0)
+
+
+class TestLearnableSparseTraining:
+    def setup_method(self):
+        self.model = build_mlp(12, [16, 8], 4, seed=0)
+        self.dataset = toy_dataset()
+        self.importance = initialize_importance(self.model, seed=0)
+
+    def _run(self, **kwargs):
+        defaults = dict(sparse_ratio=0.5, iterations=8, batch_size=10,
+                        learning_rate=0.2, prox_mu=0.05, importance_lambda=0.1,
+                        rng=np.random.default_rng(0))
+        defaults.update(kwargs)
+        return learnable_sparse_training(
+            self.model, self.model.get_parameters(), self.importance,
+            self.dataset, **defaults)
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            self._run(sparse_ratio=0.0)
+
+    def test_residual_and_personalized_respect_mask(self):
+        result = self._run()
+        mask = self.model.expand_unit_masks(
+            {k: np.asarray(v, dtype=float) for k, v in result.pattern.items()})
+        for key, values in result.personalized_params.items():
+            assert np.all(values[mask[key] == 0.0] == 0.0)
+        for key, values in result.residual.items():
+            assert np.all(values[mask[key] == 0.0] == 0.0)
+
+    def test_pattern_keep_ratio_close_to_requested(self):
+        result = self._run(sparse_ratio=0.5)
+        assert 0.35 <= pattern_keep_ratio(result.pattern) <= 0.65
+
+    def test_importance_is_updated(self):
+        result = self._run()
+        moved = any(not np.allclose(result.importance.scores[name],
+                                    self.importance.scores[name])
+                    for name in self.importance.scores)
+        assert moved
+
+    def test_training_learns_at_full_ratio(self):
+        result = self._run(sparse_ratio=1.0, iterations=25)
+        assert result.train_accuracy > 0.4
+
+    def test_full_ratio_masks_nothing(self):
+        result = self._run(sparse_ratio=1.0)
+        assert pattern_keep_ratio(result.pattern) == 1.0
+
+    def test_prox_mu_limits_drift_from_global(self):
+        # the masked residual (omega_global - omega_local) * m measures the
+        # drift of the retained sub-model from the global parameters
+        free = self._run(prox_mu=0.0, iterations=15, learning_rate=0.05)
+        anchored = self._run(prox_mu=2.0, iterations=15, learning_rate=0.05)
+        free_drift = l2_norm(free.residual)
+        anchored_drift = l2_norm(anchored.residual)
+        assert anchored_drift < free_drift + 1e-9
+
+    def test_per_iteration_refresh_mode_runs(self):
+        result = self._run(refresh_pattern_each_iteration=True, iterations=4)
+        assert result.examples_seen == 4 * 10
+
+    def test_gates_cleared_after_training(self):
+        self._run()
+        assert all(layer.unit_gate is None for layer in self.model.layers)

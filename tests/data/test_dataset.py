@@ -1,0 +1,102 @@
+"""Tests for Dataset, DataLoader and the federated containers."""
+
+import numpy as np
+import pytest
+
+from repro.data import ClientData, DataLoader, Dataset, FederatedDataset
+
+
+def make_dataset(n=20, num_classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(rng.standard_normal((n, 3)),
+                   rng.integers(0, num_classes, size=n))
+
+
+class TestDataset:
+    def test_length_and_classes(self):
+        ds = make_dataset(30, 4)
+        assert len(ds) == 30
+        assert 1 <= ds.num_classes <= 4
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_subset_copies(self):
+        ds = make_dataset()
+        sub = ds.subset(np.array([0, 1]))
+        sub.x[0, 0] = 123.0
+        assert ds.x[0, 0] != 123.0
+
+    def test_class_counts(self):
+        ds = Dataset(np.zeros((4, 1)), np.array([0, 0, 2, 1]))
+        np.testing.assert_array_equal(ds.class_counts(3), [2, 1, 1])
+
+    def test_split_sizes(self):
+        ds = make_dataset(20)
+        train, test = ds.split(0.25, seed=1)
+        assert len(train) + len(test) == 20
+        assert len(test) == 5
+
+    def test_split_invalid_fraction(self):
+        ds = make_dataset()
+        with pytest.raises(ValueError):
+            ds.split(0.0)
+        with pytest.raises(ValueError):
+            ds.split(1.0)
+
+    def test_split_deterministic(self):
+        ds = make_dataset(20)
+        a_train, _ = ds.split(0.2, seed=3)
+        b_train, _ = ds.split(0.2, seed=3)
+        np.testing.assert_array_equal(a_train.y, b_train.y)
+
+
+class TestDataLoader:
+    def test_batches_cover_all_examples(self):
+        ds = make_dataset(23)
+        loader = DataLoader(ds, batch_size=5, shuffle=False)
+        total = sum(len(y) for _, y in loader)
+        assert total == 23
+        assert len(loader) == 5
+
+    def test_drop_last(self):
+        ds = make_dataset(23)
+        loader = DataLoader(ds, batch_size=5, drop_last=True)
+        sizes = [len(y) for _, y in loader]
+        assert all(size == 5 for size in sizes)
+        assert len(loader) == 4
+
+    def test_shuffling_changes_order_between_epochs(self):
+        ds = make_dataset(50)
+        loader = DataLoader(ds, batch_size=50, shuffle=True, seed=0)
+        first = next(iter(loader))[1]
+        second = next(iter(loader))[1]
+        assert not np.array_equal(first, second)
+
+    def test_invalid_arguments(self):
+        ds = make_dataset(5)
+        with pytest.raises(ValueError):
+            DataLoader(ds, batch_size=0)
+        with pytest.raises(ValueError):
+            DataLoader(Dataset(np.zeros((0, 2)), np.zeros(0, dtype=int)), 2)
+
+
+class TestFederatedContainers:
+    def test_client_data_counts(self):
+        ds = make_dataset(10)
+        shard = ClientData(0, ds, ds)
+        assert shard.num_train_examples == 10
+
+    def test_federated_dataset_accessors(self, small_fed_dataset):
+        assert small_fed_dataset.num_clients == 6
+        assert small_fed_dataset.client_ids == list(range(6))
+        shard = small_fed_dataset.client(0)
+        assert len(shard.train) > 0 and len(shard.test) > 0
+        with pytest.raises(KeyError):
+            small_fed_dataset.client(99)
+
+    def test_total_examples_and_weights(self, small_fed_dataset):
+        total = small_fed_dataset.total_train_examples()
+        weights = small_fed_dataset.average_local_accuracy_weights()
+        assert total == sum(weights.values())

@@ -1,0 +1,120 @@
+"""Tests for the experiment harness (presets, runner, tables, figures)."""
+
+import pytest
+
+from repro.experiments import (DATASETS, ExperimentPreset, accuracy_vs_flops,
+                               build_experiment, format_rows,
+                               heterogeneity_sweep, noniid_level_sweep,
+                               pattern_ratio_sweep, preset_for, run_method,
+                               run_methods, scaled, summarize,
+                               table1_accuracy_flops, table2_ablation,
+                               time_to_accuracy)
+
+TINY = {"num_clients": 5, "examples_per_client": 24, "num_rounds": 2,
+        "clients_per_round": 2, "local_iterations": 2, "batch_size": 8,
+        "seed": 1}
+
+
+class TestPresets:
+    def test_preset_for_every_dataset(self):
+        for dataset in DATASETS:
+            preset = preset_for(dataset)
+            assert preset.dataset == dataset
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            preset_for("imagenet")
+
+    def test_scaled_overrides_fields(self):
+        preset = scaled(preset_for("mnist"), num_rounds=3)
+        assert preset.num_rounds == 3
+        assert preset_for("mnist").num_rounds != 3 or True
+
+    def test_build_experiment_components(self):
+        preset = scaled(preset_for("mnist"), **TINY)
+        dataset, model_builder, config, fleet = build_experiment(preset)
+        assert dataset.num_clients == TINY["num_clients"]
+        assert config.num_rounds == TINY["num_rounds"]
+        assert len(fleet) == TINY["num_clients"]
+        assert model_builder().num_parameters > 0
+
+    def test_invalid_heterogeneity_level(self):
+        preset = scaled(preset_for("mnist"), heterogeneity="extreme")
+        with pytest.raises(ValueError):
+            build_experiment(preset)
+
+
+class TestRunner:
+    def test_run_method_returns_history(self):
+        preset = scaled(preset_for("mnist"), **TINY)
+        history = run_method("fedavg", preset)
+        assert len(history) == TINY["num_rounds"]
+        summary = summarize(history)
+        assert set(summary) == {"accuracy", "best_accuracy", "total_flops",
+                                "total_time_seconds", "total_upload_bytes"}
+
+    def test_run_methods_multiple(self):
+        preset = scaled(preset_for("mnist"), **TINY)
+        histories = run_methods(["fedavg", "fedlps"], preset)
+        assert set(histories) == {"fedavg", "fedlps"}
+
+    def test_format_rows_renders_all_columns(self):
+        rows = [{"a": 1.0, "b": "x"}, {"a": 2.0, "b": "y"}]
+        text = format_rows(rows, ["a", "b"])
+        assert "x" in text and "y" in text and len(text.splitlines()) == 4
+
+
+class TestTables:
+    def test_table1_rows(self):
+        rows = table1_accuracy_flops(datasets=["mnist"],
+                                     methods=["fedavg", "fedlps"],
+                                     overrides=TINY)
+        assert len(rows) == 2
+        assert {row["method"] for row in rows} == {"fedavg", "fedlps"}
+        assert all(row["total_flops"] > 0 for row in rows)
+
+    def test_table2_rows(self):
+        rows = table2_ablation(dataset="mnist", overrides=TINY)
+        assert len(rows) == 5
+        assert {row["variant"] for row in rows} == {
+            "FLST", "RCR-Fix", "P-UCBV-Fix", "RCR-Dyn", "P-UCBV-Dyn"}
+
+
+class TestFigures:
+    def test_accuracy_vs_flops_series(self):
+        series = accuracy_vs_flops("mnist", methods=("fedavg", "fedlps"),
+                                   overrides=TINY)
+        assert set(series) == {"fedavg", "fedlps"}
+        for points in series.values():
+            assert len(points) == TINY["num_rounds"]
+            flops = [p["flops"] for p in points]
+            assert flops == sorted(flops)
+
+    def test_time_to_accuracy_rows(self):
+        rows = time_to_accuracy(datasets=("mnist",), methods=("fedavg", "fedlps"),
+                                target_fraction=0.5, overrides=TINY)
+        assert len(rows) == 2
+        assert all("time_to_accuracy_seconds" in row for row in rows)
+
+    def test_noniid_sweep_rows(self):
+        rows = noniid_level_sweep(dataset="mnist", missing_classes=(6, 8),
+                                  methods=("fedlps",), overrides=TINY)
+        assert len(rows) == 2
+        assert {row["missing_classes"] for row in rows} == {6, 8}
+
+    def test_heterogeneity_sweep_rows(self):
+        rows = heterogeneity_sweep(dataset="mnist", levels=("low", "high"),
+                                   methods=("fedavg",), overrides=TINY)
+        assert len(rows) == 2
+        assert {row["heterogeneity"] for row in rows} == {"low", "high"}
+
+    def test_pattern_ratio_sweep_rows(self):
+        rows = pattern_ratio_sweep(dataset="mnist", ratios=(0.4, 0.8),
+                                   patterns=("learnable", "ordered"),
+                                   overrides=TINY)
+        assert len(rows) == 4
+        flops_04 = next(r["total_flops"] for r in rows
+                        if r["sparse_ratio"] == 0.4 and r["pattern"] == "ordered")
+        flops_08 = next(r["total_flops"] for r in rows
+                        if r["sparse_ratio"] == 0.8 and r["pattern"] == "ordered")
+        assert flops_08 > flops_04

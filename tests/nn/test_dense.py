@@ -1,0 +1,146 @@
+"""Unit tests for the Dense layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense
+
+
+def numeric_gradient(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + eps
+        plus = f()
+        x[idx] = original - eps
+        minus = f()
+        x[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestDenseForward:
+    def test_output_shape(self):
+        layer = Dense(5, 3, name="d")
+        out = layer.forward(np.ones((4, 5)))
+        assert out.shape == (4, 3)
+
+    def test_linear_map_matches_manual_computation(self):
+        layer = Dense(3, 2, name="d")
+        x = np.array([[1.0, 2.0, -1.0]])
+        expected = x @ layer.params["W"] + layer.params["b"]
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_rejects_wrong_input_width(self):
+        layer = Dense(3, 2, name="d")
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((2, 4)))
+
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+        with pytest.raises(ValueError):
+            Dense(3, -1)
+
+
+class TestDenseBackward:
+    def test_weight_gradient_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(4, 3, name="d", rng=rng)
+        x = rng.standard_normal((5, 4))
+        target = rng.standard_normal((5, 3))
+
+        def loss():
+            return 0.5 * float(np.sum((layer.forward(x) - target) ** 2))
+
+        layer.zero_grad()
+        out = layer.forward(x)
+        layer.backward(out - target)
+        numeric = numeric_gradient(loss, layer.params["W"])
+        np.testing.assert_allclose(layer.grads["W"], numeric, atol=1e-5)
+
+    def test_bias_gradient_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(3, 2, name="d", rng=rng)
+        x = rng.standard_normal((4, 3))
+        target = rng.standard_normal((4, 2))
+
+        def loss():
+            return 0.5 * float(np.sum((layer.forward(x) - target) ** 2))
+
+        layer.zero_grad()
+        out = layer.forward(x)
+        layer.backward(out - target)
+        numeric = numeric_gradient(loss, layer.params["b"])
+        np.testing.assert_allclose(layer.grads["b"], numeric, atol=1e-5)
+
+    def test_input_gradient_shape(self):
+        layer = Dense(4, 3, name="d")
+        out = layer.forward(np.ones((2, 4)))
+        grad_in = layer.backward(np.ones_like(out))
+        assert grad_in.shape == (2, 4)
+
+    def test_backward_before_forward_raises(self):
+        layer = Dense(4, 3, name="d")
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((2, 3)))
+
+
+class TestDenseUnits:
+    def test_n_units_equals_output_features(self):
+        assert Dense(4, 7, name="d").n_units == 7
+
+    def test_non_sparsifiable_layer_has_zero_units(self):
+        assert Dense(4, 7, name="d", sparsifiable=False).n_units == 0
+
+    def test_gate_zeroes_selected_columns(self):
+        layer = Dense(3, 4, name="d")
+        gate = np.array([1.0, 0.0, 1.0, 0.0])
+        layer.set_unit_gate(gate)
+        out = layer.forward(np.ones((2, 3)))
+        assert np.all(out[:, 1] == 0.0)
+        assert np.all(out[:, 3] == 0.0)
+
+    def test_gate_gradient_accumulates(self):
+        layer = Dense(3, 2, name="d")
+        layer.set_unit_gate(np.ones(2))
+        layer.zero_grad()
+        layer.forward(np.ones((2, 3)))
+        layer.backward(np.ones((2, 2)))
+        assert layer.unit_gate_grad is not None
+        assert layer.unit_gate_grad.shape == (2,)
+
+    def test_wrong_gate_shape_rejected(self):
+        layer = Dense(3, 2, name="d")
+        with pytest.raises(ValueError):
+            layer.set_unit_gate(np.ones(3))
+
+    def test_expand_unit_mask_shapes(self):
+        layer = Dense(3, 4, name="d")
+        masks = layer.expand_unit_mask(np.array([1, 0, 1, 0], dtype=float))
+        assert masks["W"].shape == (3, 4)
+        assert masks["b"].shape == (4,)
+        assert np.all(masks["W"][:, 1] == 0)
+        assert np.all(masks["b"][[0, 2]] == 1)
+
+    def test_unit_weight_magnitude(self):
+        layer = Dense(2, 2, name="d")
+        layer.params["W"] = np.array([[1.0, -2.0], [3.0, 0.5]])
+        layer.params["b"] = np.array([0.5, -0.5])
+        np.testing.assert_allclose(layer.unit_weight_magnitude(), [4.5, 3.0])
+
+
+class TestDenseAccounting:
+    def test_flops(self):
+        layer = Dense(10, 5, name="d")
+        flops, shape = layer.flops_per_example((10,))
+        assert flops == 2 * 10 * 5
+        assert shape == (5,)
+
+    def test_flops_rejects_non_flat_input(self):
+        layer = Dense(10, 5, name="d")
+        with pytest.raises(ValueError):
+            layer.flops_per_example((2, 5))

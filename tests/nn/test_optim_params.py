@@ -1,0 +1,127 @@
+"""Tests for the SGD optimizer and the parameter-dictionary helpers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, clip_gradients, global_grad_norm
+from repro.nn import params as P
+
+
+class TestSGD:
+    def test_basic_step(self):
+        opt = SGD(0.1)
+        weights = {"w": np.array([1.0, 2.0])}
+        opt.step(weights, {"w": np.array([1.0, 1.0])})
+        np.testing.assert_allclose(weights["w"], [0.9, 1.9])
+
+    def test_momentum_accumulates(self):
+        opt = SGD(0.1, momentum=0.9)
+        weights = {"w": np.array([0.0])}
+        opt.step(weights, {"w": np.array([1.0])})
+        opt.step(weights, {"w": np.array([1.0])})
+        # second step uses velocity 0.9 * 1 + 1 = 1.9
+        np.testing.assert_allclose(weights["w"], [-0.1 - 0.19])
+
+    def test_weight_decay(self):
+        opt = SGD(0.1, weight_decay=0.5)
+        weights = {"w": np.array([2.0])}
+        opt.step(weights, {"w": np.array([0.0])})
+        np.testing.assert_allclose(weights["w"], [2.0 - 0.1 * 1.0])
+
+    def test_clip_norm_limits_update(self):
+        opt = SGD(1.0, clip_norm=1.0)
+        weights = {"w": np.array([0.0, 0.0])}
+        opt.step(weights, {"w": np.array([3.0, 4.0])})
+        np.testing.assert_allclose(np.linalg.norm(weights["w"]), 1.0, rtol=1e-6)
+
+    def test_missing_gradient_key_is_skipped(self):
+        opt = SGD(0.1)
+        weights = {"w": np.array([1.0]), "v": np.array([1.0])}
+        opt.step(weights, {"w": np.array([1.0])})
+        np.testing.assert_allclose(weights["v"], [1.0])
+
+    def test_reset_state_clears_momentum(self):
+        opt = SGD(0.1, momentum=0.9)
+        weights = {"w": np.array([0.0])}
+        opt.step(weights, {"w": np.array([1.0])})
+        opt.reset_state()
+        opt.step(weights, {"w": np.array([1.0])})
+        np.testing.assert_allclose(weights["w"], [-0.2])
+
+    @pytest.mark.parametrize("kwargs", [
+        {"lr": 0.0}, {"lr": -1.0},
+        {"lr": 0.1, "momentum": 1.0},
+        {"lr": 0.1, "weight_decay": -0.1},
+    ])
+    def test_invalid_arguments(self, kwargs):
+        lr = kwargs.pop("lr")
+        with pytest.raises(ValueError):
+            SGD(lr, **kwargs)
+
+    def test_global_grad_norm(self):
+        grads = {"a": np.array([3.0]), "b": np.array([4.0])}
+        assert global_grad_norm(grads) == pytest.approx(5.0)
+
+    def test_clip_gradients_noop_when_below_threshold(self):
+        grads = {"a": np.array([0.1])}
+        clipped = clip_gradients(grads, 10.0)
+        np.testing.assert_allclose(clipped["a"], [0.1])
+
+    def test_clip_gradients_invalid_norm(self):
+        with pytest.raises(ValueError):
+            clip_gradients({"a": np.ones(2)}, 0.0)
+
+
+class TestParamHelpers:
+    def setup_method(self):
+        self.a = {"x": np.array([1.0, 2.0]), "y": np.array([[3.0]])}
+        self.b = {"x": np.array([0.5, 0.5]), "y": np.array([[1.0]])}
+
+    def test_copy_is_deep(self):
+        copied = P.copy_params(self.a)
+        copied["x"][0] = 99.0
+        assert self.a["x"][0] == 1.0
+
+    def test_add_subtract_roundtrip(self):
+        total = P.add(self.a, self.b)
+        back = P.subtract(total, self.b)
+        np.testing.assert_allclose(back["x"], self.a["x"])
+        np.testing.assert_allclose(back["y"], self.a["y"])
+
+    def test_scale(self):
+        scaled = P.scale(self.a, 2.0)
+        np.testing.assert_allclose(scaled["x"], [2.0, 4.0])
+
+    def test_multiply(self):
+        product = P.multiply(self.a, self.b)
+        np.testing.assert_allclose(product["x"], [0.5, 1.0])
+
+    def test_weighted_average_normalizes_weights(self):
+        avg = P.weighted_average([self.a, self.b], [2.0, 2.0])
+        np.testing.assert_allclose(avg["x"], [0.75, 1.25])
+
+    def test_weighted_average_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            P.weighted_average([self.a], [0.0])
+        with pytest.raises(ValueError):
+            P.weighted_average([], [])
+        with pytest.raises(ValueError):
+            P.weighted_average([self.a, self.b], [1.0])
+
+    def test_mismatched_keys_raise(self):
+        with pytest.raises(KeyError):
+            P.add(self.a, {"x": np.zeros(2)})
+
+    def test_norms_and_counts(self):
+        assert P.num_parameters(self.a) == 3
+        assert P.l2_norm({"x": np.array([3.0, 4.0])}) == pytest.approx(5.0)
+        assert P.l2_distance(self.a, self.a) == pytest.approx(0.0)
+        assert P.count_nonzero({"x": np.array([0.0, 1.0, 2.0])}) == 2
+
+    def test_flatten_sorted_by_key(self):
+        flat = P.flatten({"b": np.array([2.0]), "a": np.array([1.0])})
+        np.testing.assert_allclose(flat, [1.0, 2.0])
+
+    def test_zeros_like(self):
+        zeros = P.zeros_like(self.a)
+        assert all(np.all(v == 0) for v in zeros.values())

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+TINY = ["--rounds", "2", "--clients", "5", "--clients-per-round", "2",
+        "--local-iterations", "2", "--seed", "1"]
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.method == "fedlps"
+        assert args.dataset == "mnist"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--method", "nonsense"])
+
+
+class TestCommands:
+    def test_list_prints_methods(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fedlps" in out and "fedavg" in out
+
+    def test_run_prints_summary(self, capsys):
+        assert main(["run", "--method", "fedavg", "--dataset", "mnist"] + TINY) == 0
+        out = capsys.readouterr().out
+        assert "fedavg" in out and "accuracy" in out
+
+    def test_compare_prints_one_row_per_method(self, capsys):
+        assert main(["compare", "--methods", "fedavg", "fedlps",
+                     "--dataset", "mnist"] + TINY) == 0
+        out = capsys.readouterr().out
+        assert "fedavg" in out and "fedlps" in out
+
+    def test_table1_subset(self, capsys):
+        assert main(["table1", "--datasets", "mnist",
+                     "--methods", "fedavg", "fedlps"] + TINY) == 0
+        out = capsys.readouterr().out
+        assert "fedlps" in out
