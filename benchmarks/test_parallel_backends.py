@@ -1,0 +1,42 @@
+"""Backend smoke benchmark: one tiny preset through every executor backend.
+
+This is the CI "benchmark smoke" job: it proves every backend still produces
+bit-identical histories on a representative method (FedLPS exercises sparse
+patterns, per-client importance state and the P-UCBV bandit) while recording
+per-backend wall-clock into the ``BENCH_parallel.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments import preset_for, run_method, scaled
+from repro.parallel import available_backends, resolve_executor
+
+from conftest import bench_overrides
+
+WORKERS = 2
+
+
+def tiny_preset():
+    overrides = bench_overrides(num_clients=6, examples_per_client=30,
+                                num_rounds=3, local_iterations=2)
+    return scaled(preset_for("mnist"), **overrides)
+
+
+@pytest.fixture(scope="module")
+def reference_history():
+    """The serial (no-executor) reference run all backends must reproduce."""
+    return run_method("fedlps", tiny_preset())
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_backend_smoke(backend, reference_history, record_backend_timing):
+    with resolve_executor(backend, WORKERS) as executor:
+        start = time.perf_counter()
+        history = run_method("fedlps", tiny_preset(), executor=executor)
+        elapsed = time.perf_counter() - start
+    record_backend_timing(backend, elapsed, workers=WORKERS)
+    assert history.to_dict() == reference_history.to_dict()

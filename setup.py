@@ -1,6 +1,20 @@
-"""Setuptools shim so that ``pip install -e .`` works in offline environments
-that lack the ``wheel`` package (legacy editable installs do not need it)."""
+"""Setuptools configuration.
 
-from setuptools import setup
+``pip install -e .`` needs network access (or pre-installed ``setuptools``
+and ``wheel``) to build the editable wheel; in fully offline environments
+use ``python -m repro.cli`` directly — the test suite already adds ``src``
+to the import path via pyproject's pytest configuration."""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-fedlps",
+    version="0.2.0",
+    description=("Reproduction of FedLPS: learnable personalized sparsification "
+                 "for heterogeneous federated learning"),
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

@@ -10,7 +10,7 @@ magnitude, depth-wise, unstructured).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -272,22 +272,23 @@ class FedMP(SharedSparseStrategy):
             raise ValueError("arms must not be empty")
         self.arms = tuple(sorted(arms, reverse=True))
         self.exploration = exploration
-        self._counts: Dict[int, np.ndarray] = {}
-        self._rewards: Dict[int, np.ndarray] = {}
-        self._last_arm: Dict[int, int] = {}
-        self._last_accuracy: Dict[int, float] = {}
 
     def setup(self, context: StrategyContext) -> None:
+        # The bandit bookkeeping lives in ``client.state`` (not on the
+        # strategy) so that parallel local updates ship it back to the server
+        # like every other per-client quantity.
         super().setup(context)
         n = len(self.arms)
-        for cid in context.client_ids:
-            self._counts[cid] = np.zeros(n)
-            self._rewards[cid] = np.zeros(n)
-            self._last_accuracy[cid] = 100.0 / max(context.dataset.num_classes, 2)
+        baseline = 100.0 / max(context.dataset.num_classes, 2)
+        for client in context.clients.values():
+            client.state["fedmp_counts"] = np.zeros(n)
+            client.state["fedmp_rewards"] = np.zeros(n)
+            client.state["fedmp_last_arm"] = None
+            client.state["fedmp_last_accuracy"] = baseline
 
     def client_ratio(self, client: Client, round_index: int) -> float:
-        counts = self._counts[client.client_id]
-        rewards = self._rewards[client.client_id]
+        counts = client.state["fedmp_counts"]
+        rewards = client.state["fedmp_rewards"]
         feasible = [i for i, arm in enumerate(self.arms)
                     if arm <= max(affordable_ratio(client.capability), self.arms[-1])]
         if not feasible:
@@ -301,7 +302,7 @@ class FedMP(SharedSparseStrategy):
                       + self.exploration * np.sqrt(2 * np.log(total) / counts[i])
                       for i in feasible]
             arm_index = feasible[int(np.argmax(scores))]
-        self._last_arm[client.client_id] = arm_index
+        client.state["fedmp_last_arm"] = arm_index
         return self.arms[arm_index]
 
     def client_pattern(self, client: Client, ratio: float,
@@ -310,14 +311,15 @@ class FedMP(SharedSparseStrategy):
 
     def post_round(self, round_index: int, updates: List[ClientUpdate],
                    costs: Mapping[int, CostBreakdown]) -> None:
+        context = self._require_context()
         for update in updates:
-            cid = update.client_id
-            arm = self._last_arm.get(cid)
+            state = context.clients[update.client_id].state
+            arm = state["fedmp_last_arm"]
             if arm is None:
                 continue
             accuracy = 100.0 * update.train_accuracy
-            gain = accuracy - self._last_accuracy[cid]
-            seconds = max(costs[cid].total_seconds, 1e-9)
-            self._counts[cid][arm] += 1
-            self._rewards[cid][arm] += gain / seconds
-            self._last_accuracy[cid] = accuracy
+            gain = accuracy - state["fedmp_last_accuracy"]
+            seconds = max(costs[update.client_id].total_seconds, 1e-9)
+            state["fedmp_counts"][arm] += 1
+            state["fedmp_rewards"][arm] += gain / seconds
+            state["fedmp_last_accuracy"] = accuracy

@@ -5,6 +5,14 @@ Examples::
     python -m repro.cli run --dataset mnist --method fedlps --rounds 20
     python -m repro.cli compare --dataset cifar10 --methods fedavg fedper fedlps
     python -m repro.cli table1 --datasets mnist cifar10 --rounds 10
+    python -m repro.cli sweep --datasets mnist cifar10 --methods fedavg fedlps \
+        --backend process --workers 4
+
+Every experiment command accepts ``--workers N`` and ``--backend
+{serial,thread,process}``.  ``run`` and ``compare`` parallelize the per-round
+client work inside each simulation; ``sweep`` dispatches whole method×dataset
+runs as parallel jobs and caches their results on disk, so rebuilding the
+paper's table/figure grid is incremental.
 """
 
 from __future__ import annotations
@@ -13,8 +21,10 @@ import argparse
 from typing import List, Optional
 
 from .baselines import TABLE1_METHODS, available_strategies
-from .experiments import (format_rows, preset_for, run_method, scaled,
-                          summarize, table1_accuracy_flops)
+from .experiments import (DATASETS, DEFAULT_CACHE_DIR, ResultCache,
+                          format_rows, preset_for, run_method, run_sweep,
+                          scaled, summarize, table1_accuracy_flops)
+from .parallel import available_backends, resolve_executor
 
 
 def _preset_overrides(args: argparse.Namespace) -> dict:
@@ -40,6 +50,20 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--clients-per-round", type=int, default=None)
     parser.add_argument("--local-iterations", type=int, default=None)
     parser.add_argument("--seed", type=int, default=None)
+    _add_executor_arguments(parser)
+
+
+def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker count for the execution backend "
+                             "(0 = auto-sized from the CPU count)")
+    parser.add_argument("--backend", default="serial",
+                        choices=available_backends(),
+                        help="execution backend for parallel work")
+
+
+def _executor_from(args: argparse.Namespace):
+    return resolve_executor(args.backend, args.workers)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,6 +86,17 @@ def build_parser() -> argparse.ArgumentParser:
     table1_parser.add_argument("--methods", nargs="+", default=list(TABLE1_METHODS))
     _add_common_arguments(table1_parser)
 
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a method × dataset grid with caching")
+    sweep_parser.add_argument("--datasets", nargs="+", default=list(DATASETS))
+    sweep_parser.add_argument("--methods", nargs="+",
+                              default=["fedavg", "fedlps"])
+    sweep_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                              help="directory of the JSON result cache")
+    sweep_parser.add_argument("--no-cache", action="store_true",
+                              help="always re-run, never read or write the cache")
+    _add_common_arguments(sweep_parser)
+
     sub.add_parser("list", help="list available methods")
     return parser
 
@@ -76,7 +111,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "run":
         preset = scaled(preset_for(args.dataset), **_preset_overrides(args))
-        history = run_method(args.method, preset)
+        with _executor_from(args) as executor:
+            history = run_method(args.method, preset, executor=executor)
         summary = summarize(history)
         print(format_rows([{"method": args.method, "dataset": args.dataset,
                             **summary}],
@@ -87,20 +123,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "compare":
         preset = scaled(preset_for(args.dataset), **_preset_overrides(args))
         rows = []
-        for method in args.methods:
-            history = run_method(method, preset)
-            rows.append({"method": method, "dataset": args.dataset,
-                         **summarize(history)})
+        with _executor_from(args) as executor:
+            for method in args.methods:
+                history = run_method(method, preset, executor=executor)
+                rows.append({"method": method, "dataset": args.dataset,
+                             **summarize(history)})
         print(format_rows(rows, ["method", "dataset", "accuracy",
                                  "total_flops", "total_time_seconds"]))
         return 0
 
     if args.command == "table1":
-        rows = table1_accuracy_flops(datasets=args.datasets,
-                                     methods=args.methods,
-                                     overrides=_preset_overrides(args))
+        with _executor_from(args) as executor:
+            rows = table1_accuracy_flops(datasets=args.datasets,
+                                         methods=args.methods,
+                                         overrides=_preset_overrides(args),
+                                         executor=executor)
         print(format_rows(rows, ["method", "dataset", "accuracy",
                                  "total_flops", "total_time_seconds"]))
+        return 0
+
+    if args.command == "sweep":
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        with _executor_from(args) as executor:
+            histories = run_sweep(args.methods, args.datasets,
+                                  overrides=_preset_overrides(args),
+                                  executor=executor, cache=cache)
+        rows = [{"method": method, "dataset": dataset,
+                 **summarize(history)}
+                for (method, dataset), history in histories.items()]
+        print(format_rows(rows, ["method", "dataset", "accuracy",
+                                 "total_flops", "total_time_seconds"]))
+        if cache is not None:
+            print(f"# cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+                  f"in {cache.directory}")
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -114,6 +114,11 @@ class FedLPS(Strategy):
         if self.pattern_mode == "learnable":
             importance = state.get("importance")
             if importance is None:
+                # initialize from the broadcast global model, not from whatever
+                # scratch state a previous client's training left behind — the
+                # initial importance must be a pure function of the broadcast
+                # so results do not depend on execution order
+                context.model.set_parameters(self.global_params)
                 importance = initialize_importance(
                     context.model, seed=config.seed * 104_729 + client.client_id)
             result = learnable_sparse_training(

@@ -1,12 +1,14 @@
-"""Experiment harness: presets, runner and per-table/figure reproduction."""
+"""Experiment harness: presets, runner, result cache and per-table/figure
+reproduction."""
 
+from .cache import DEFAULT_CACHE_DIR, ResultCache, run_spec, spec_key
 from .figures import (FIGURE3_METHODS, accuracy_vs_flops, accuracy_vs_time,
                       heterogeneity_sweep, noniid_level_sweep,
                       pattern_ratio_sweep, time_to_accuracy)
 from .presets import (DATASETS, DEFAULT_PRESETS, ExperimentPreset,
                       build_experiment, preset_for, scaled)
-from .runner import (format_rows, run_across_datasets, run_method, run_methods,
-                     summarize)
+from .runner import (format_rows, run_across_datasets, run_jobs, run_method,
+                     run_methods, run_sweep, summarize)
 from .tables import histories_to_rows, table1_accuracy_flops, table2_ablation
 
 __all__ = [
@@ -19,6 +21,12 @@ __all__ = [
     "run_method",
     "run_methods",
     "run_across_datasets",
+    "run_jobs",
+    "run_sweep",
+    "ResultCache",
+    "DEFAULT_CACHE_DIR",
+    "run_spec",
+    "spec_key",
     "summarize",
     "format_rows",
     "table1_accuracy_flops",

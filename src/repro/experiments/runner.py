@@ -1,51 +1,151 @@
-"""Running one method on one preset, and small sweep helpers."""
+"""Running one method on one preset, and parallel sweep helpers.
+
+Two levels of parallelism compose here:
+
+* :func:`run_method` accepts an ``executor`` that the trainer uses to fan
+  per-round client updates and evaluation across workers;
+* :func:`run_methods`, :func:`run_across_datasets` and :func:`run_sweep`
+  dispatch *whole* (method, preset) runs as independent jobs on an executor,
+  which is the better fit for figure/table grids (each job is a full serial
+  simulation, so there is no cross-worker chatter at all).
+
+Sweep helpers consult an optional :class:`~repro.experiments.cache.ResultCache`
+so repeated figure builds only pay for the runs whose spec actually changed.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..baselines import build_strategy
 from ..federated import FederatedTrainer
 from ..federated.strategy import Strategy
+from ..parallel import Executor
 from ..systems import TrainingHistory
+from .cache import ResultCache
 from .presets import ExperimentPreset, build_experiment, preset_for, scaled
+
+#: a fully-specified sweep job: (method, preset, strategy constructor kwargs)
+JobSpec = Tuple[str, ExperimentPreset, Optional[dict]]
 
 
 def run_method(method: str, preset: ExperimentPreset, *,
                strategy: Optional[Strategy] = None,
-               strategy_kwargs: Optional[dict] = None) -> TrainingHistory:
+               strategy_kwargs: Optional[dict] = None,
+               executor: Optional[Executor] = None,
+               cache: Optional[ResultCache] = None) -> TrainingHistory:
     """Run one method on one experiment preset and return its history.
 
     ``method`` is a registry name (see ``repro.baselines.available_strategies``);
     a pre-built ``strategy`` instance can be passed instead for ablation
-    variants that need custom constructor arguments.
+    variants that need custom constructor arguments — such runs bypass the
+    cache, whose keys only cover registry specs.  ``executor`` parallelizes
+    the per-round client work inside the trainer.
     """
+    cacheable = cache is not None and strategy is None
+    if cacheable:
+        cached = cache.get(method, preset, strategy_kwargs)
+        if cached is not None:
+            return cached
     dataset, model_builder, config, fleet = build_experiment(preset)
     strat = strategy if strategy is not None \
         else build_strategy(method, **(strategy_kwargs or {}))
     trainer = FederatedTrainer(strat, dataset, model_builder, config=config,
-                               fleet=fleet)
+                               fleet=fleet, executor=executor)
     history = trainer.run()
     history.dataset = preset.dataset
+    if cacheable:
+        cache.put(method, preset, strategy_kwargs, history)
     return history
 
 
-def run_methods(methods: Iterable[str], preset: ExperimentPreset
+def _sweep_job(spec: JobSpec) -> TrainingHistory:
+    """Run one sweep job; module-level so process workers can import it."""
+    method, preset, strategy_kwargs = spec
+    return run_method(method, preset, strategy_kwargs=strategy_kwargs)
+
+
+def run_jobs(specs: List[JobSpec], *, executor: Optional[Executor] = None,
+             cache: Optional[ResultCache] = None) -> List[TrainingHistory]:
+    """Run every job spec, in parallel where possible, returning input order.
+
+    Cache hits are filled in without dispatching a job; misses run on the
+    executor and are written back to the cache as each job completes (in
+    completion order, so a long sweep's cache grows incrementally even if it
+    is interrupted).
+    """
+    results: Dict[int, TrainingHistory] = {}
+    pending: List[JobSpec] = []
+    pending_positions: List[int] = []
+    for position, spec in enumerate(specs):
+        hit = cache.get(*spec) if cache is not None else None
+        if hit is not None:
+            results[position] = hit
+        else:
+            pending.append(spec)
+            pending_positions.append(position)
+    if pending:
+        if executor is None:
+            completed = [(index, _sweep_job(spec))
+                         for index, spec in enumerate(pending)]
+        else:
+            completed = executor.map_unordered(_sweep_job, pending)
+        for index, history in completed:
+            method, preset, strategy_kwargs = pending[index]
+            if cache is not None:
+                cache.put(method, preset, strategy_kwargs, history)
+            results[pending_positions[index]] = history
+    return [results[position] for position in range(len(specs))]
+
+
+def run_methods(methods: Iterable[str], preset: ExperimentPreset, *,
+                executor: Optional[Executor] = None,
+                cache: Optional[ResultCache] = None
                 ) -> Dict[str, TrainingHistory]:
     """Run several registry methods on the same preset."""
-    return {method: run_method(method, preset) for method in methods}
+    methods = list(methods)
+    histories = run_jobs([(method, preset, None) for method in methods],
+                         executor=executor, cache=cache)
+    return dict(zip(methods, histories))
 
 
 def run_across_datasets(method: str, datasets: Iterable[str], *,
-                        overrides: Optional[dict] = None
+                        overrides: Optional[dict] = None,
+                        executor: Optional[Executor] = None,
+                        cache: Optional[ResultCache] = None
                         ) -> Dict[str, TrainingHistory]:
     """Run one method on several datasets with shared preset overrides."""
     overrides = overrides or {}
-    results: Dict[str, TrainingHistory] = {}
-    for dataset in datasets:
-        preset = scaled(preset_for(dataset), **overrides)
-        results[dataset] = run_method(method, preset)
-    return results
+    datasets = list(datasets)
+    specs: List[JobSpec] = [
+        (method, scaled(preset_for(dataset), **overrides), None)
+        for dataset in datasets]
+    histories = run_jobs(specs, executor=executor, cache=cache)
+    return dict(zip(datasets, histories))
+
+
+def run_sweep(methods: Iterable[str], datasets: Iterable[str], *,
+              overrides: Optional[dict] = None,
+              executor: Optional[Executor] = None,
+              cache: Optional[ResultCache] = None
+              ) -> Dict[Tuple[str, str], TrainingHistory]:
+    """Run the full method × dataset grid behind the tables and figures.
+
+    Returns a mapping from ``(method, dataset)`` to history.  With an
+    executor the grid's jobs run concurrently; with a cache only the specs
+    not seen before are executed.
+    """
+    overrides = overrides or {}
+    methods = list(methods)
+    datasets = list(datasets)
+    grid: List[Tuple[str, str]] = [(method, dataset)
+                                   for method in methods
+                                   for dataset in datasets]
+    specs: List[JobSpec] = [
+        (method, scaled(preset_for(dataset), **overrides), None)
+        for method, dataset in grid]
+    histories = run_jobs(specs, executor=executor, cache=cache)
+    return dict(zip(grid, histories))
 
 
 def summarize(history: TrainingHistory, *, last_rounds: int = 3) -> Dict[str, float]:

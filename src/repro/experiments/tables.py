@@ -11,36 +11,40 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from ..baselines import TABLE1_METHODS, ablations, build_strategy
+from ..parallel import Executor
 from ..systems import TrainingHistory
+from .cache import ResultCache
 from .presets import ExperimentPreset, preset_for, scaled
-from .runner import run_method, summarize
+from .runner import run_jobs, run_method, summarize
 
 
 def table1_accuracy_flops(datasets: Iterable[str] = ("mnist",),
                           methods: Optional[Iterable[str]] = None,
-                          overrides: Optional[dict] = None
+                          overrides: Optional[dict] = None, *,
+                          executor: Optional[Executor] = None,
+                          cache: Optional[ResultCache] = None
                           ) -> List[Dict[str, object]]:
     """Rows of Table I: one row per (method, dataset).
 
     ``overrides`` shrinks or enlarges the presets (rounds, clients, ...), which
     is how the benchmark harness keeps the full 21-method sweep tractable.
+    With an ``executor`` the grid's runs dispatch as parallel jobs; a
+    ``cache`` makes repeated table builds incremental.
     """
     methods = list(methods) if methods is not None else list(TABLE1_METHODS)
     overrides = overrides or {}
-    rows: List[Dict[str, object]] = []
-    for dataset in datasets:
-        preset = scaled(preset_for(dataset), **overrides)
-        for method in methods:
-            history = run_method(method, preset)
-            summary = summarize(history)
-            rows.append({
-                "method": method,
-                "dataset": dataset,
-                "accuracy": summary["accuracy"],
-                "total_flops": summary["total_flops"],
-                "total_time_seconds": summary["total_time_seconds"],
-            })
-    return rows
+    grid = [(method, dataset) for dataset in datasets for method in methods]
+    specs = [(method, scaled(preset_for(dataset), **overrides), None)
+             for method, dataset in grid]
+    histories = run_jobs(specs, executor=executor, cache=cache)
+    return [{
+        "method": method,
+        "dataset": dataset,
+        "accuracy": summary["accuracy"],
+        "total_flops": summary["total_flops"],
+        "total_time_seconds": summary["total_time_seconds"],
+    } for (method, dataset), summary in
+        ((pair, summarize(history)) for pair, history in zip(grid, histories))]
 
 
 def table2_ablation(dataset: str = "mnist",

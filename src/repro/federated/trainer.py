@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import copy
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..data.dataset import FederatedDataset
 from ..nn.model import Sequential
+from ..parallel import Executor
 from ..sparsity.accounting import SparseCost
 from ..systems.cost import CostBreakdown, LocalCostModel
 from ..systems.devices import DeviceFleet, sample_device_fleet
@@ -15,7 +18,30 @@ from ..systems.metrics import RoundRecord, TrainingHistory
 from .client import Client
 from .config import FederatedConfig
 from .evaluation import evaluate_params
-from .strategy import Strategy, StrategyContext
+from .strategy import ClientUpdate, Strategy, StrategyContext
+
+
+def _local_update_task(payload: Tuple[Strategy, int, Client]
+                       ) -> Tuple[ClientUpdate, Dict]:
+    """Run one client's local update; executed on a worker.
+
+    Strategies persist per-client information in ``client.state``, so the
+    (possibly mutated) state dictionary is shipped back alongside the update
+    — with the thread/process backends the caller never sees in-place
+    mutations.
+    """
+    strategy, round_index, client = payload
+    update = strategy.local_update(round_index, client)
+    return update, client.state
+
+
+def _evaluation_task(payload: Tuple[Strategy, Client]) -> float:
+    """Evaluate one client's personalized model; executed on a worker."""
+    strategy, client = payload
+    params, pattern = strategy.client_evaluation(client)
+    result = evaluate_params(strategy.context.model, params, client.test_data,
+                             pattern=pattern)
+    return result["accuracy"]
 
 
 class FederatedTrainer:
@@ -26,16 +52,27 @@ class FederatedTrainer:
     computation/communication footprints into simulated wall-clock time
     through the cost model, and evaluates the personalized models on every
     client's local test shard.
+
+    When an :class:`~repro.parallel.Executor` is supplied, the per-round
+    ``local_update`` calls and the per-client evaluation fan out across its
+    workers: each client's update only depends on the broadcast global
+    parameters and its own ``client.state``, so rounds parallelize without
+    changing results (selection, aggregation and bandit bookkeeping stay on
+    the "server", i.e. the calling thread).  All per-client randomness is
+    derived from ``config.seed``, making histories bit-identical across
+    backends.
     """
 
     def __init__(self, strategy: Strategy, dataset: FederatedDataset,
                  model_builder: Callable[[], Sequential], *,
                  config: Optional[FederatedConfig] = None,
                  fleet: Optional[DeviceFleet] = None,
-                 cost_model: Optional[LocalCostModel] = None) -> None:
+                 cost_model: Optional[LocalCostModel] = None,
+                 executor: Optional[Executor] = None) -> None:
         self.strategy = strategy
         self.dataset = dataset
         self.config = config or FederatedConfig()
+        self.executor = executor
         self.fleet = fleet or sample_device_fleet(dataset.num_clients,
                                                   seed=self.config.seed)
         if len(self.fleet) != dataset.num_clients:
@@ -64,8 +101,7 @@ class FederatedTrainer:
         cumulative_time = 0.0
         for round_index in range(self.config.num_rounds):
             selected = self.strategy.select_clients(round_index)
-            updates = [self.strategy.local_update(round_index, self.clients[cid])
-                       for cid in selected]
+            updates = self._run_local_updates(round_index, selected)
             self.strategy.aggregate(round_index, updates)
 
             costs: Dict[int, CostBreakdown] = {}
@@ -90,6 +126,8 @@ class FederatedTrainer:
                               if updates else 0.0)
             should_eval = ((round_index + 1) % self.config.eval_every == 0
                            or round_index == self.config.num_rounds - 1)
+            # when evaluation is skipped this round, the last fresh value is
+            # carried forward and flagged as such via ``evaluated=False``
             test_accuracy = (self.evaluate_personalized()
                              if should_eval else
                              (history.records[-1].test_accuracy
@@ -101,18 +139,60 @@ class FederatedTrainer:
                 upload_bytes=upload, download_bytes=download,
                 cumulative_flops=cumulative_flops,
                 cumulative_time_seconds=cumulative_time,
-                sparse_ratios={u.client_id: u.sparse_ratio for u in updates}))
+                sparse_ratios={u.client_id: u.sparse_ratio for u in updates},
+                evaluated=should_eval))
         return history
+
+    # ------------------------------------------------------------- dispatch
+    def _dispatch_strategy(self, client: Client) -> Strategy:
+        """A shallow strategy copy whose context carries only ``client``.
+
+        The copy shares the (read-only during fan-out) global parameters and
+        model with the original; slimming ``context.clients`` and the
+        dataset's shards down to the one dispatched client keeps
+        thread/process payloads proportional to a single client — the other
+        clients' states and data never cross the worker boundary.  Dataset
+        metadata (name, num_classes, input_shape) stays intact for
+        strategies that consult it during local work.
+        """
+        strategy = copy.copy(self.strategy)
+        slim_dataset = replace(
+            self.dataset, clients={client.client_id: client.data})
+        strategy.context = replace(self.context,
+                                   clients={client.client_id: client},
+                                   dataset=slim_dataset)
+        return strategy
+
+    def _run_local_updates(self, round_index: int,
+                           selected: List[int]) -> List[ClientUpdate]:
+        """Run the selected clients' local updates, fanning out if possible."""
+        if self.executor is None or not selected:
+            return [self.strategy.local_update(round_index, self.clients[cid])
+                    for cid in selected]
+        payloads = [(self._dispatch_strategy(self.clients[cid]), round_index,
+                     self.clients[cid]) for cid in selected]
+        updates: List[ClientUpdate] = []
+        for update, state in self.executor.map_ordered(_local_update_task,
+                                                       payloads):
+            self.clients[update.client_id].state = state
+            updates.append(update)
+        return updates
 
     # ------------------------------------------------------------ evaluation
     def evaluate_personalized(self) -> float:
         """Average accuracy of every client's inference model on its test shard."""
-        accuracies = []
-        for client_id, client in self.clients.items():
-            params, pattern = self.strategy.client_evaluation(client)
-            result = evaluate_params(self.model, params, client.test_data,
-                                     pattern=pattern)
-            accuracies.append(result["accuracy"])
+        clients = list(self.clients.values())
+        if self.executor is None:
+            accuracies = []
+            for client in clients:
+                params, pattern = self.strategy.client_evaluation(client)
+                result = evaluate_params(self.model, params, client.test_data,
+                                         pattern=pattern)
+                accuracies.append(result["accuracy"])
+        else:
+            payloads = [(self._dispatch_strategy(client), client)
+                        for client in clients]
+            accuracies = self.executor.map_ordered(_evaluation_task, payloads)
         return float(np.mean(accuracies)) if accuracies else 0.0
 
 
@@ -120,8 +200,10 @@ def run_federated(strategy: Strategy, dataset: FederatedDataset,
                   model_builder: Callable[[], Sequential], *,
                   config: Optional[FederatedConfig] = None,
                   fleet: Optional[DeviceFleet] = None,
-                  cost_model: Optional[LocalCostModel] = None) -> TrainingHistory:
+                  cost_model: Optional[LocalCostModel] = None,
+                  executor: Optional[Executor] = None) -> TrainingHistory:
     """Convenience wrapper: build a trainer and run it."""
     trainer = FederatedTrainer(strategy, dataset, model_builder, config=config,
-                               fleet=fleet, cost_model=cost_model)
+                               fleet=fleet, cost_model=cost_model,
+                               executor=executor)
     return trainer.run()

@@ -1,0 +1,18 @@
+"""Pluggable parallel execution backends (serial / thread / process)."""
+
+from .executors import (EXECUTOR_BACKENDS, Executor, ProcessPoolExecutor,
+                        SerialExecutor, ThreadPoolExecutor, available_backends,
+                        clone_via_pickle, default_worker_count,
+                        resolve_executor)
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "EXECUTOR_BACKENDS",
+    "available_backends",
+    "resolve_executor",
+    "clone_via_pickle",
+    "default_worker_count",
+]

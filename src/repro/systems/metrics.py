@@ -22,6 +22,41 @@ class RoundRecord:
     cumulative_time_seconds: float
     sparse_ratios: Dict[int, float] = field(default_factory=dict)
     extras: Dict[str, float] = field(default_factory=dict)
+    #: False when evaluation was skipped this round and ``test_accuracy``
+    #: merely carries the last fresh value forward (``eval_every > 1``)
+    evaluated: bool = True
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (used by the sweep result cache)."""
+        return {
+            "round_index": self.round_index,
+            "selected_clients": list(self.selected_clients),
+            "train_accuracy": self.train_accuracy,
+            "test_accuracy": self.test_accuracy,
+            "round_flops": self.round_flops,
+            "round_time_seconds": self.round_time_seconds,
+            "upload_bytes": self.upload_bytes,
+            "download_bytes": self.download_bytes,
+            "cumulative_flops": self.cumulative_flops,
+            "cumulative_time_seconds": self.cumulative_time_seconds,
+            "sparse_ratios": {str(cid): ratio
+                              for cid, ratio in self.sparse_ratios.items()},
+            "extras": dict(self.extras),
+            "evaluated": self.evaluated,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RoundRecord":
+        """Inverse of :meth:`to_dict` (JSON string keys become ints again)."""
+        data = dict(payload)
+        data["selected_clients"] = [int(cid)
+                                    for cid in data.get("selected_clients", [])]
+        data["sparse_ratios"] = {
+            int(cid): float(ratio)
+            for cid, ratio in dict(data.get("sparse_ratios", {})).items()}
+        data["extras"] = dict(data.get("extras", {}))
+        data.setdefault("evaluated", True)
+        return cls(**data)
 
 
 @dataclass
@@ -113,3 +148,21 @@ class TrainingHistory:
             "cumulative_time_seconds": record.cumulative_time_seconds,
             "upload_bytes": record.upload_bytes,
         } for record in self.records]
+
+    # --------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (used by the sweep result cache)."""
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TrainingHistory":
+        """Rebuild a history from :meth:`to_dict` output."""
+        history = cls(method=str(payload["method"]),
+                      dataset=str(payload["dataset"]))
+        for record in payload.get("records", []):
+            history.append(RoundRecord.from_dict(record))
+        return history

@@ -1,0 +1,100 @@
+"""Tests for the JSON-on-disk experiment result cache."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments import (ResultCache, preset_for, run_method,
+                               run_methods, run_spec, run_sweep, scaled,
+                               spec_key)
+
+TINY = dict(num_clients=4, num_rounds=2, clients_per_round=2,
+            examples_per_client=20, local_iterations=2, batch_size=8, seed=5)
+
+
+def tiny_preset(**extra):
+    return scaled(preset_for("mnist"), **{**TINY, **extra})
+
+
+class TestSpecKeys:
+    def test_key_is_stable(self):
+        spec = run_spec("fedavg", tiny_preset())
+        assert spec_key(spec) == spec_key(run_spec("fedavg", tiny_preset()))
+
+    def test_key_covers_method_preset_and_kwargs(self):
+        base = spec_key(run_spec("fedavg", tiny_preset()))
+        assert spec_key(run_spec("fedlps", tiny_preset())) != base
+        assert spec_key(run_spec("fedavg", tiny_preset(seed=6))) != base
+        assert spec_key(run_spec("fedavg", tiny_preset(),
+                                 {"mu": 0.5})) != base
+
+
+class TestResultCache:
+    def test_round_trip_is_exact(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        history = run_method("fedlps", tiny_preset())
+        cache.put("fedlps", tiny_preset(), None, history)
+        restored = cache.get("fedlps", tiny_preset())
+        assert restored is not None
+        assert restored.to_dict() == history.to_dict()
+        assert cache.hits == 1
+
+    def test_miss_on_unknown_spec(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("fedavg", tiny_preset()) is None
+        assert cache.misses == 1
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        history = run_method("fedavg", tiny_preset())
+        path = cache.put("fedavg", tiny_preset(), None, history)
+        path.write_text("{not json")
+        assert cache.get("fedavg", tiny_preset()) is None
+
+    def test_spec_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        history = run_method("fedavg", tiny_preset())
+        path = cache.put("fedavg", tiny_preset(), None, history)
+        payload = json.loads(path.read_text())
+        payload["spec"]["preset"]["seed"] = 12345
+        path.write_text(json.dumps(payload))
+        assert cache.get("fedavg", tiny_preset()) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("fedavg", tiny_preset(), None,
+                  run_method("fedavg", tiny_preset()))
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestCachedSweeps:
+    def test_run_methods_is_incremental(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_methods(["fedavg", "fedlps"], tiny_preset(), cache=cache)
+        assert cache.misses == 2 and cache.hits == 0
+        second = run_methods(["fedavg", "fedlps"], tiny_preset(), cache=cache)
+        assert cache.hits == 2
+        for method in first:
+            assert first[method].to_dict() == second[method].to_dict()
+
+    def test_run_sweep_covers_the_grid(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        grid = run_sweep(["fedavg", "fedlps"], ["mnist"],
+                         overrides=dict(TINY), cache=cache)
+        assert set(grid) == {("fedavg", "mnist"), ("fedlps", "mnist")}
+        assert len(cache) == 2
+        again = run_sweep(["fedavg", "fedlps"], ["mnist"],
+                          overrides=dict(TINY), cache=cache)
+        assert cache.hits == 2
+        for key in grid:
+            assert grid[key].to_dict() == again[key].to_dict()
+
+    def test_prebuilt_strategy_bypasses_cache(self, tmp_path):
+        from repro.baselines import build_strategy
+
+        cache = ResultCache(tmp_path)
+        run_method("fedavg", tiny_preset(),
+                   strategy=build_strategy("fedavg"), cache=cache)
+        assert len(cache) == 0

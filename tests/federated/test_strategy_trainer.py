@@ -122,6 +122,27 @@ class TestTrainer:
         # rounds 0 and 2 reuse the previous accuracy (0.0 initially)
         assert history.records[0].test_accuracy == 0.0
 
+    def test_carried_accuracy_is_flagged(self, small_fed_dataset):
+        config = FederatedConfig(num_rounds=4, clients_per_round=2,
+                                 local_iterations=1, batch_size=8,
+                                 eval_every=2, seed=0)
+        history = run_federated(Strategy(), small_fed_dataset,
+                                lambda: build_model_for_dataset("mnist"),
+                                config=config)
+        # skipped rounds carry the stale value and say so; eval rounds are
+        # fresh, and carried values equal the previous fresh one
+        assert [r.evaluated for r in history.records] == [False, True,
+                                                          False, True]
+        assert history.records[2].test_accuracy == \
+            history.records[1].test_accuracy
+
+    def test_every_round_evaluated_by_default(self, small_fed_dataset,
+                                              tiny_config):
+        history = run_federated(Strategy(), small_fed_dataset,
+                                lambda: build_model_for_dataset("mnist"),
+                                config=tiny_config)
+        assert all(record.evaluated for record in history.records)
+
     def test_reproducible_given_seed(self, small_fed_dataset, tiny_config):
         builder = lambda: build_model_for_dataset("mnist", seed=0)
         a = run_federated(Strategy(), small_fed_dataset, builder, config=tiny_config)

@@ -1,0 +1,139 @@
+"""Unit tests for the pluggable executor backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel import (EXECUTOR_BACKENDS, ProcessPoolExecutor,
+                            SerialExecutor, ThreadPoolExecutor,
+                            available_backends, clone_via_pickle,
+                            default_worker_count, resolve_executor)
+
+
+# task functions live at module level so the spawn-based process backend can
+# import them in its workers
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
+
+
+def _bump(payload):
+    payload["count"] += 1
+    return payload["count"]
+
+
+class TestResolve:
+    def test_available_backends(self):
+        assert available_backends() == ["process", "serial", "thread"]
+        assert set(EXECUTOR_BACKENDS) == {"serial", "thread", "process"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            resolve_executor("gpu")
+
+    def test_resolves_requested_types(self):
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        with resolve_executor("thread", 2) as executor:
+            assert isinstance(executor, ThreadPoolExecutor)
+            assert executor.workers == 2
+
+    def test_nonpositive_workers_means_auto(self):
+        with resolve_executor("thread", 0) as executor:
+            assert executor.workers == default_worker_count()
+            assert executor.workers >= 1
+
+    def test_serial_is_always_single_worker(self):
+        assert SerialExecutor(workers=8).workers == 1
+
+
+class TestCloneViaPickle:
+    def test_arrays_survive_bitwise(self):
+        array = np.random.default_rng(0).standard_normal(64)
+        clone = clone_via_pickle({"a": array})["a"]
+        assert clone is not array
+        assert np.array_equal(clone, array)
+        assert clone.dtype == array.dtype
+
+    def test_shared_references_stay_shared(self):
+        inner = {"x": 1}
+        a, b = clone_via_pickle((inner, inner))
+        assert a is b
+
+
+class TestSerialExecutor:
+    def test_map_ordered(self):
+        with SerialExecutor() as executor:
+            assert executor.map_ordered(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_map_unordered_tags_indices(self):
+        with SerialExecutor() as executor:
+            assert executor.map_unordered(_square, [2, 3]) == [(0, 4), (1, 9)]
+
+    def test_empty_items(self):
+        with SerialExecutor() as executor:
+            assert executor.map_ordered(_square, []) == []
+            assert executor.map_unordered(_square, []) == []
+
+    def test_errors_propagate(self):
+        with SerialExecutor() as executor:
+            with pytest.raises(ValueError, match="three"):
+                executor.map_ordered(_fail_on_three, [1, 2, 3])
+
+    def test_runs_in_place(self):
+        # the serial backend is the reference: tasks see the real objects
+        payload = {"count": 0}
+        with SerialExecutor() as executor:
+            assert executor.map_ordered(_bump, [payload]) == [1]
+        assert payload["count"] == 1
+
+
+class TestThreadPoolExecutor:
+    def test_map_ordered_preserves_order(self):
+        with ThreadPoolExecutor(4) as executor:
+            assert executor.map_ordered(_square, list(range(10))) == \
+                [x * x for x in range(10)]
+
+    def test_map_unordered_returns_every_result(self):
+        with ThreadPoolExecutor(4) as executor:
+            results = executor.map_unordered(_square, list(range(10)))
+        assert sorted(results) == [(i, i * i) for i in range(10)]
+
+    def test_errors_propagate(self):
+        with ThreadPoolExecutor(2) as executor:
+            with pytest.raises(ValueError, match="three"):
+                executor.map_ordered(_fail_on_three, [1, 2, 3, 4])
+
+    def test_tasks_run_on_private_copies(self):
+        # mutations inside a task must never leak back into the caller's
+        # objects: that is what makes thread results match process results
+        payload = {"count": 0}
+        with ThreadPoolExecutor(2) as executor:
+            assert executor.map_ordered(_bump, [payload, payload]) == [1, 1]
+        assert payload["count"] == 0
+
+
+class TestProcessPoolExecutor:
+    @pytest.fixture(scope="class")
+    def pool(self):
+        # spawn start-up is expensive; share one pool across the class
+        with ProcessPoolExecutor(2) as executor:
+            yield executor
+
+    def test_map_ordered_and_unordered(self, pool):
+        assert pool.map_ordered(_square, [1, 2, 3]) == [1, 4, 9]
+        assert sorted(pool.map_unordered(_square, [2, 3])) == [(0, 4), (1, 9)]
+
+    def test_errors_propagate(self, pool):
+        with pytest.raises(ValueError, match="three"):
+            pool.map_ordered(_fail_on_three, [3])
+
+    def test_tasks_run_on_private_copies(self, pool):
+        payload = {"count": 0}
+        assert pool.map_ordered(_bump, [payload]) == [1]
+        assert payload["count"] == 0

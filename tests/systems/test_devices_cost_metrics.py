@@ -160,3 +160,22 @@ class TestTrainingHistory:
         rows = history.as_rows()
         assert rows[0]["round"] == 0
         assert rows[0]["test_accuracy"] == 0.2
+
+    def test_dict_round_trip_is_exact(self):
+        history = TrainingHistory("m", "d")
+        for i, acc in enumerate([0.1, 0.5]):
+            record = _record(i, acc)
+            record.sparse_ratios = {3: 0.5, 7: 1.0}
+            record.evaluated = i == 1
+            history.append(record)
+        restored = TrainingHistory.from_dict(history.to_dict())
+        assert restored.to_dict() == history.to_dict()
+        assert restored.records[0].sparse_ratios == {3: 0.5, 7: 1.0}
+        assert [r.evaluated for r in restored.records] == [False, True]
+        assert restored.records[0].selected_clients == [0]
+
+    def test_from_dict_defaults_evaluated(self):
+        # histories cached before the flag existed load as "fresh"
+        payload = _record(0, 0.2).to_dict()
+        del payload["evaluated"]
+        assert RoundRecord.from_dict(payload).evaluated is True

@@ -17,10 +17,26 @@ class TestParser:
         args = build_parser().parse_args(["run"])
         assert args.method == "fedlps"
         assert args.dataset == "mnist"
+        assert args.backend == "serial"
+        assert args.workers == 1
 
     def test_unknown_method_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--method", "nonsense"])
+
+    def test_backend_choices(self):
+        args = build_parser().parse_args(
+            ["run", "--backend", "process", "--workers", "4"])
+        assert args.backend == "process"
+        assert args.workers == 4
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--backend", "gpu"])
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert "mnist" in args.datasets
+        assert args.methods == ["fedavg", "fedlps"]
+        assert not args.no_cache
 
 
 class TestCommands:
@@ -45,3 +61,44 @@ class TestCommands:
                      "--methods", "fedavg", "fedlps"] + TINY) == 0
         out = capsys.readouterr().out
         assert "fedlps" in out
+
+    def test_table1_with_thread_backend_matches_serial(self, capsys):
+        argv = ["table1", "--datasets", "mnist",
+                "--methods", "fedavg", "fedlps"] + TINY
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--backend", "thread", "--workers", "2"]) == 0
+        thread_out = capsys.readouterr().out
+        assert thread_out == serial_out
+
+    def test_run_with_thread_backend_matches_serial(self, capsys):
+        assert main(["run", "--method", "fedavg", "--dataset", "mnist"]
+                    + TINY) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["run", "--method", "fedavg", "--dataset", "mnist",
+                     "--backend", "thread", "--workers", "2"] + TINY) == 0
+        thread_out = capsys.readouterr().out
+        assert thread_out == serial_out
+
+    def test_sweep_writes_and_reuses_cache(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["sweep", "--datasets", "mnist",
+                "--methods", "fedavg", "fedlps",
+                "--cache-dir", cache_dir] + TINY
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 miss(es)" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "2 hit(s)" in second
+        # cached rows must be identical to the freshly computed ones
+        assert first.splitlines()[:4] == second.splitlines()[:4]
+
+    def test_sweep_no_cache(self, capsys, tmp_path):
+        assert main(["sweep", "--datasets", "mnist", "--methods", "fedavg",
+                     "--no-cache", "--cache-dir",
+                     str(tmp_path / "unused")] + TINY) == 0
+        out = capsys.readouterr().out
+        assert "fedavg" in out
+        assert "cache:" not in out
+        assert not (tmp_path / "unused").exists()
