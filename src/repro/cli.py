@@ -3,16 +3,24 @@
 Examples::
 
     python -m repro.cli run --dataset mnist --method fedlps --rounds 20
+    python -m repro.cli run --preset mnist --scenario deadline-tight \
+        --backend process --workers 4
     python -m repro.cli compare --dataset cifar10 --methods fedavg fedper fedlps
     python -m repro.cli table1 --datasets mnist cifar10 --rounds 10
     python -m repro.cli sweep --datasets mnist cifar10 --methods fedavg fedlps \
-        --backend process --workers 4
+        --scenarios ideal deadline-tight --backend process --workers 4
 
 Every experiment command accepts ``--workers N`` and ``--backend
 {serial,thread,process}``.  ``run`` and ``compare`` parallelize the per-round
-client work inside each simulation; ``sweep`` dispatches whole method×dataset
-runs as parallel jobs and caches their results on disk, so rebuilding the
-paper's table/figure grid is incremental.
+client work inside each simulation; ``sweep`` dispatches whole
+method×dataset×scenario runs as parallel jobs and caches their results on
+disk, so rebuilding the paper's table/figure grid is incremental.
+
+``--scenario`` attaches a system-heterogeneity scenario (client
+availability, stragglers, participation deadlines — see ``repro.scenarios``)
+to any experiment command; ``sweep --scenarios`` grids over several.
+Scenario decisions derive from ``(seed, round, client)``, so histories stay
+bit-identical across backends.
 """
 
 from __future__ import annotations
@@ -22,9 +30,15 @@ from typing import List, Optional
 
 from .baselines import TABLE1_METHODS, available_strategies
 from .experiments import (DATASETS, DEFAULT_CACHE_DIR, ResultCache,
-                          format_rows, preset_for, run_method, run_sweep,
-                          scaled, summarize, table1_accuracy_flops)
+                          format_rows, preset_for, run_method,
+                          run_scenario_sweep, scaled, summarize,
+                          table1_accuracy_flops)
 from .parallel import available_backends, resolve_executor
+from .scenarios import available_scenarios
+
+#: the headline columns every experiment command prints
+SUMMARY_COLUMNS = ["accuracy", "total_flops", "total_time_seconds",
+                   "sim_time_seconds", "time_to_accuracy_seconds"]
 
 
 def _preset_overrides(args: argparse.Namespace) -> dict:
@@ -39,12 +53,26 @@ def _preset_overrides(args: argparse.Namespace) -> dict:
         overrides["local_iterations"] = args.local_iterations
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if getattr(args, "scenario", None) is not None:
+        overrides["scenario"] = args.scenario
     return overrides
+
+
+def _dataset_from(args: argparse.Namespace) -> str:
+    """--preset is an alias for --dataset (presets are named by dataset)."""
+    return args.preset if args.preset is not None else args.dataset
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset", default="mnist",
                         help="mnist / cifar10 / cifar100 / tinyimagenet / reddit")
+    parser.add_argument("--preset", default=None,
+                        help="alias for --dataset (presets are named after "
+                             "their dataset)")
+    parser.add_argument("--scenario", default=None,
+                        choices=available_scenarios(),
+                        help="system-heterogeneity scenario (availability, "
+                             "stragglers, deadlines); default: ideal")
     parser.add_argument("--rounds", type=int, default=None)
     parser.add_argument("--clients", type=int, default=None)
     parser.add_argument("--clients-per-round", type=int, default=None)
@@ -87,10 +115,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(table1_parser)
 
     sweep_parser = sub.add_parser(
-        "sweep", help="run a method × dataset grid with caching")
+        "sweep", help="run a method × dataset × scenario grid with caching")
     sweep_parser.add_argument("--datasets", nargs="+", default=list(DATASETS))
     sweep_parser.add_argument("--methods", nargs="+",
                               default=["fedavg", "fedlps"])
+    sweep_parser.add_argument("--scenarios", nargs="+", default=["ideal"],
+                              choices=available_scenarios(),
+                              help="system-heterogeneity scenarios to sweep")
     sweep_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                               help="directory of the JSON result cache")
     sweep_parser.add_argument("--no-cache", action="store_true",
@@ -110,26 +141,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "run":
-        preset = scaled(preset_for(args.dataset), **_preset_overrides(args))
+        dataset = _dataset_from(args)
+        preset = scaled(preset_for(dataset), **_preset_overrides(args))
         with _executor_from(args) as executor:
             history = run_method(args.method, preset, executor=executor)
         summary = summarize(history)
-        print(format_rows([{"method": args.method, "dataset": args.dataset,
-                            **summary}],
-                          ["method", "dataset", "accuracy", "total_flops",
-                           "total_time_seconds"]))
+        print(format_rows([{"method": args.method, "dataset": dataset,
+                            "scenario": preset.scenario, **summary}],
+                          ["method", "dataset", "scenario"] + SUMMARY_COLUMNS))
         return 0
 
     if args.command == "compare":
-        preset = scaled(preset_for(args.dataset), **_preset_overrides(args))
+        dataset = _dataset_from(args)
+        preset = scaled(preset_for(dataset), **_preset_overrides(args))
         rows = []
         with _executor_from(args) as executor:
             for method in args.methods:
                 history = run_method(method, preset, executor=executor)
-                rows.append({"method": method, "dataset": args.dataset,
+                rows.append({"method": method, "dataset": dataset,
+                             "scenario": preset.scenario,
                              **summarize(history)})
-        print(format_rows(rows, ["method", "dataset", "accuracy",
-                                 "total_flops", "total_time_seconds"]))
+        print(format_rows(rows, ["method", "dataset", "scenario"]
+                          + SUMMARY_COLUMNS))
         return 0
 
     if args.command == "table1":
@@ -138,21 +171,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                                          methods=args.methods,
                                          overrides=_preset_overrides(args),
                                          executor=executor)
-        print(format_rows(rows, ["method", "dataset", "accuracy",
-                                 "total_flops", "total_time_seconds"]))
+        print(format_rows(rows, ["method", "dataset"] + SUMMARY_COLUMNS[:3]
+                          + ["time_to_accuracy_seconds"]))
         return 0
 
     if args.command == "sweep":
         cache = None if args.no_cache else ResultCache(args.cache_dir)
+        overrides = _preset_overrides(args)
+        overrides.pop("scenario", None)
+        scenarios = list(args.scenarios)
+        if args.scenario is not None and args.scenario not in scenarios:
+            scenarios.append(args.scenario)
         with _executor_from(args) as executor:
-            histories = run_sweep(args.methods, args.datasets,
-                                  overrides=_preset_overrides(args),
-                                  executor=executor, cache=cache)
-        rows = [{"method": method, "dataset": dataset,
+            histories = run_scenario_sweep(args.methods, args.datasets,
+                                           scenarios, overrides=overrides,
+                                           executor=executor, cache=cache)
+        rows = [{"method": method, "dataset": dataset, "scenario": scenario,
                  **summarize(history)}
-                for (method, dataset), history in histories.items()]
-        print(format_rows(rows, ["method", "dataset", "accuracy",
-                                 "total_flops", "total_time_seconds"]))
+                for (method, dataset, scenario), history in histories.items()]
+        print(format_rows(rows, ["method", "dataset", "scenario"]
+                          + SUMMARY_COLUMNS))
         if cache is not None:
             print(f"# cache: {cache.hits} hit(s), {cache.misses} miss(es) "
                   f"in {cache.directory}")

@@ -35,6 +35,11 @@ def pathological_partition(dataset: Dataset, num_clients: int,
     Every client is assigned ``classes_per_client`` classes and receives an
     equal share of the examples of each assigned class, following the shard
     construction used by the paper (and originally by McMahan et al.).
+
+    The assignment guarantees every class lands on at least one client, so
+    the returned partitions are disjoint AND exactly cover the dataset.
+    When that is impossible (fewer client-class slots than classes) the
+    partition would silently discard whole classes, so it raises instead.
     """
     if num_clients <= 0:
         raise ValueError("num_clients must be positive")
@@ -44,22 +49,34 @@ def pathological_partition(dataset: Dataset, num_clients: int,
         raise ValueError(
             f"classes_per_client must be in [1, {num_classes}], "
             f"got {classes_per_client}")
+    slots = num_clients * classes_per_client
+    if slots < num_classes:
+        raise ValueError(
+            f"{num_clients} clients x {classes_per_client} classes each "
+            f"cannot cover all {num_classes} classes; examples would be "
+            "discarded — use more clients or classes_per_client")
     rng = np.random.default_rng(seed)
 
-    # Assign class identities to clients so that every class is covered about
-    # equally often across the federation.
+    # Spread the client-class slots as evenly as possible over the classes:
+    # every class at least once (coverage) and never more often than there
+    # are clients (a client holds each class at most once).
+    multiplicity = np.full(num_classes, slots // num_classes, dtype=np.int64)
+    remainder = slots - int(multiplicity.sum())
+    if remainder:
+        multiplicity[rng.choice(num_classes, size=remainder,
+                                replace=False)] += 1
+
+    # Deal the slots to clients, always taking the classes with the most
+    # slots left (random stable tie-break).  Because no class ever has more
+    # remaining slots than there are remaining clients, the greedy deal
+    # always finds ``classes_per_client`` distinct classes per client.
     assignments: List[np.ndarray] = []
-    class_pool = rng.permutation(
-        np.tile(np.arange(num_classes),
-                int(np.ceil(num_clients * classes_per_client / num_classes))))
-    cursor = 0
+    remaining = multiplicity.copy()
     for _ in range(num_clients):
-        chosen: List[int] = []
-        while len(chosen) < classes_per_client:
-            candidate = int(class_pool[cursor % len(class_pool)])
-            cursor += 1
-            if candidate not in chosen:
-                chosen.append(candidate)
+        order = rng.permutation(num_classes)
+        ranked = sorted(order.tolist(), key=lambda c: -remaining[c])
+        chosen = ranked[:classes_per_client]
+        remaining[chosen] -= 1
         assignments.append(np.array(chosen))
 
     # Split every class's examples into equal shards among the clients that

@@ -8,8 +8,9 @@ from .figures import (FIGURE3_METHODS, accuracy_vs_flops, accuracy_vs_time,
 from .presets import (DATASETS, DEFAULT_PRESETS, ExperimentPreset,
                       build_experiment, preset_for, scaled)
 from .runner import (format_rows, run_across_datasets, run_jobs, run_method,
-                     run_methods, run_sweep, summarize)
-from .tables import histories_to_rows, table1_accuracy_flops, table2_ablation
+                     run_methods, run_scenario_sweep, run_sweep, summarize)
+from .tables import (histories_to_rows, scenario_table, table1_accuracy_flops,
+                     table2_ablation)
 
 __all__ = [
     "ExperimentPreset",
@@ -23,6 +24,7 @@ __all__ = [
     "run_across_datasets",
     "run_jobs",
     "run_sweep",
+    "run_scenario_sweep",
     "ResultCache",
     "DEFAULT_CACHE_DIR",
     "run_spec",
@@ -31,6 +33,7 @@ __all__ = [
     "format_rows",
     "table1_accuracy_flops",
     "table2_ablation",
+    "scenario_table",
     "histories_to_rows",
     "accuracy_vs_flops",
     "accuracy_vs_time",

@@ -18,15 +18,52 @@ import hashlib
 import json
 from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Mapping, Optional, Union
 
 from ..systems.metrics import TrainingHistory
 from .presets import ExperimentPreset
 
 #: bump when the simulator's numerics change in a way that invalidates runs
-CACHE_VERSION = 1
+#: (2: scenario engine — RoundRecord gained sim_time/dropped/stragglers and
+#: presets gained the scenario field)
+CACHE_VERSION = 2
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def canonicalize(value: object) -> object:
+    """Reduce a value to a pure-JSON form independent of construction order.
+
+    ``json.dumps(..., sort_keys=True)`` alone is not enough for stable keys:
+    non-string dict keys survive as insertion-ordered after a load/compare
+    round trip (``{1: x}`` dumps to ``{"1": x}`` and no longer equals the
+    original spec), sets have no defined order, and anything hitting a
+    ``default=repr`` fallback keeps whatever ordering its repr uses.  This
+    walk makes every mapping string-keyed and sorted, every set sorted, and
+    every exotic object an explicit repr — so two specs built with different
+    key insertion orders hash to the same cache entry and compare equal
+    after a JSON round trip.
+    """
+    if isinstance(value, Mapping):
+        keys = sorted(value, key=str)
+        if len({str(key) for key in keys}) != len(keys):
+            # e.g. {1: ..., "1": ...} — stringifying would silently drop an
+            # entry and make the result depend on insertion order; a loud
+            # error beats a wrong cache hit
+            raise ValueError(
+                f"mapping keys collide after str() conversion: {keys!r}")
+        return {str(key): canonicalize(value[key]) for key in keys}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((canonicalize(item) for item in value), key=repr)
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    return repr(value)
 
 
 def run_spec(method: str, preset: ExperimentPreset,
@@ -35,14 +72,14 @@ def run_spec(method: str, preset: ExperimentPreset,
     return {
         "version": CACHE_VERSION,
         "method": method,
-        "preset": asdict(preset),
-        "strategy_kwargs": dict(strategy_kwargs or {}),
+        "preset": canonicalize(asdict(preset)),
+        "strategy_kwargs": canonicalize(dict(strategy_kwargs or {})),
     }
 
 
 def spec_key(spec: Dict[str, object]) -> str:
     """Stable content hash of a run spec."""
-    canonical = json.dumps(spec, sort_keys=True, default=repr)
+    canonical = json.dumps(canonicalize(spec), sort_keys=True)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 

@@ -18,6 +18,7 @@ from ..data import FederatedDataset, build_federated_dataset
 from ..federated import FederatedConfig
 from ..models import build_model_for_dataset
 from ..nn.model import Sequential
+from ..scenarios import available_scenarios, build_scenario
 from ..systems import DeviceFleet, sample_device_fleet
 from ..systems.devices import HETEROGENEITY_PRESETS
 
@@ -42,6 +43,9 @@ class ExperimentPreset:
     heterogeneity: str = "high"
     dynamic_resources: bool = False
     style_scale: float = 2.5
+    #: named system-heterogeneity scenario (see ``repro.scenarios``);
+    #: "ideal" reproduces the paper's every-client-finishes assumption
+    scenario: str = "ideal"
     seed: int = 0
     extra_config: Dict[str, float] = field(default_factory=dict)
 
@@ -78,6 +82,10 @@ def build_experiment(preset: ExperimentPreset
     if preset.heterogeneity not in HETEROGENEITY_PRESETS:
         raise ValueError(
             f"unknown heterogeneity level {preset.heterogeneity!r}")
+    if preset.scenario not in available_scenarios():
+        raise ValueError(
+            f"unknown scenario {preset.scenario!r}; "
+            f"choose from {available_scenarios()}")
     dataset = build_federated_dataset(
         preset.dataset, preset.num_clients,
         classes_per_client=preset.classes_per_client,
@@ -91,6 +99,10 @@ def build_experiment(preset: ExperimentPreset
         learning_rate=preset.learning_rate,
         clip_norm=preset.clip_norm,
         seed=preset.seed,
+        scenario=build_scenario(preset.scenario,
+                                num_clients=preset.num_clients,
+                                num_rounds=preset.num_rounds,
+                                seed=preset.seed),
         extra=dict(preset.extra_config))
     fleet = sample_device_fleet(
         preset.num_clients,

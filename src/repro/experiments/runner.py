@@ -148,14 +148,56 @@ def run_sweep(methods: Iterable[str], datasets: Iterable[str], *,
     return dict(zip(grid, histories))
 
 
-def summarize(history: TrainingHistory, *, last_rounds: int = 3) -> Dict[str, float]:
-    """Headline numbers extracted from one run (the Table I columns)."""
+def run_scenario_sweep(methods: Iterable[str], datasets: Iterable[str],
+                       scenarios: Iterable[str] = ("ideal",), *,
+                       overrides: Optional[dict] = None,
+                       executor: Optional[Executor] = None,
+                       cache: Optional[ResultCache] = None
+                       ) -> Dict[Tuple[str, str, str], TrainingHistory]:
+    """Run the method × dataset × scenario grid.
+
+    The scenario rides inside the preset (its name is part of the cache
+    spec), so scenario sweeps get the same incremental caching and parallel
+    job dispatch as plain sweeps.  A ``scenario`` key in ``overrides`` is
+    ignored: the ``scenarios`` axis is authoritative here.
+    """
+    overrides = dict(overrides or {})
+    overrides.pop("scenario", None)
+    methods = list(methods)
+    datasets = list(datasets)
+    scenarios = list(scenarios)
+    grid: List[Tuple[str, str, str]] = [
+        (method, dataset, scenario)
+        for method in methods
+        for dataset in datasets
+        for scenario in scenarios]
+    specs: List[JobSpec] = [
+        (method, scaled(preset_for(dataset), scenario=scenario, **overrides),
+         None)
+        for method, dataset, scenario in grid]
+    histories = run_jobs(specs, executor=executor, cache=cache)
+    return dict(zip(grid, histories))
+
+
+def summarize(history: TrainingHistory, *, last_rounds: int = 3,
+              tta_fraction: float = 0.9) -> Dict[str, float]:
+    """Headline numbers extracted from one run (the Table I columns).
+
+    ``time_to_accuracy_seconds`` is the simulated scenario wall-clock until
+    the run first reaches ``tta_fraction`` of its own best accuracy (None if
+    it never does), which stays comparable across scenarios that drop
+    clients or idle until deadlines.
+    """
     return {
         "accuracy": history.final_accuracy(last_rounds),
         "best_accuracy": history.best_accuracy(),
         "total_flops": history.total_flops,
         "total_time_seconds": history.total_time_seconds,
         "total_upload_bytes": history.total_upload_bytes,
+        "sim_time_seconds": history.total_sim_time,
+        "time_to_accuracy_seconds": history.time_to_fraction(tta_fraction),
+        "dropped_clients": history.total_dropped,
+        "straggler_drops": history.total_stragglers,
     }
 
 
@@ -167,7 +209,9 @@ def format_rows(rows: List[Dict[str, object]], columns: List[str]) -> str:
         cells = []
         for name in columns:
             value = row.get(name, "")
-            if isinstance(value, float):
+            if value is None:
+                cells.append(f"{'-':>18s}")
+            elif isinstance(value, float):
                 cells.append(f"{value:>18.4g}")
             else:
                 cells.append(f"{str(value):>18s}")

@@ -1,9 +1,12 @@
 """Reproduction of the paper's tables.
 
-* :func:`table1_accuracy_flops` — Table I: test accuracy and total training
-  FLOPs of every method on the requested datasets.
+* :func:`table1_accuracy_flops` — Table I: test accuracy, total training
+  FLOPs and time-to-accuracy of every method on the requested datasets.
 * :func:`table2_ablation` — Table II: FLST / RCR-Fix / P-UCBV-Fix / RCR-Dyn /
   P-UCBV-Dyn accuracy and FLOPs under static and dynamic device resources.
+* :func:`scenario_table` — methods × system-heterogeneity scenarios:
+  accuracy, simulated wall-clock, time-to-accuracy and drop counts (the
+  columns that show which strategy wins once clients can miss deadlines).
 """
 
 from __future__ import annotations
@@ -15,7 +18,7 @@ from ..parallel import Executor
 from ..systems import TrainingHistory
 from .cache import ResultCache
 from .presets import ExperimentPreset, preset_for, scaled
-from .runner import run_jobs, run_method, summarize
+from .runner import run_jobs, run_method, run_scenario_sweep, summarize
 
 
 def table1_accuracy_flops(datasets: Iterable[str] = ("mnist",),
@@ -43,6 +46,8 @@ def table1_accuracy_flops(datasets: Iterable[str] = ("mnist",),
         "accuracy": summary["accuracy"],
         "total_flops": summary["total_flops"],
         "total_time_seconds": summary["total_time_seconds"],
+        "sim_time_seconds": summary["sim_time_seconds"],
+        "time_to_accuracy_seconds": summary["time_to_accuracy_seconds"],
     } for (method, dataset), summary in
         ((pair, summarize(history)) for pair, history in zip(grid, histories))]
 
@@ -78,6 +83,37 @@ def table2_ablation(dataset: str = "mnist",
             "total_time_seconds": summary["total_time_seconds"],
         })
     return rows
+
+
+def scenario_table(dataset: str = "mnist",
+                   methods: Iterable[str] = ("fedavg", "fedlps"),
+                   scenarios: Iterable[str] = ("ideal", "flaky",
+                                               "deadline-tight", "trace"),
+                   overrides: Optional[dict] = None, *,
+                   executor: Optional[Executor] = None,
+                   cache: Optional[ResultCache] = None
+                   ) -> List[Dict[str, object]]:
+    """Methods × scenarios on one dataset: the system-heterogeneity grid.
+
+    Alongside final accuracy, the rows carry the quantities the scenario
+    engine exists to measure: simulated wall-clock (deadline waits included),
+    time-to-accuracy, and how many client slots were lost to unavailability
+    or straggler drops.
+    """
+    histories = run_scenario_sweep(methods, [dataset], scenarios,
+                                   overrides=overrides, executor=executor,
+                                   cache=cache)
+    return [{
+        "method": method,
+        "scenario": scenario,
+        "dataset": grid_dataset,
+        "accuracy": summary["accuracy"],
+        "sim_time_seconds": summary["sim_time_seconds"],
+        "time_to_accuracy_seconds": summary["time_to_accuracy_seconds"],
+        "dropped_clients": summary["dropped_clients"],
+        "straggler_drops": summary["straggler_drops"],
+    } for (method, grid_dataset, scenario), summary in
+        ((key, summarize(history)) for key, history in histories.items())]
 
 
 def histories_to_rows(histories: Dict[str, TrainingHistory]

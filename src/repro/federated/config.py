@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..scenarios.config import ScenarioConfig
+
 
 @dataclass
 class FederatedConfig:
@@ -34,6 +36,9 @@ class FederatedConfig:
     # evaluate the personalized models every ``eval_every`` rounds
     eval_every: int = 1
     seed: int = 0
+    # system-heterogeneity scenario (availability / stragglers / deadlines);
+    # None runs the paper's ideal setting where every client always finishes
+    scenario: Optional[ScenarioConfig] = None
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:

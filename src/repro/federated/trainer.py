@@ -11,6 +11,7 @@ import numpy as np
 from ..data.dataset import FederatedDataset
 from ..nn.model import Sequential
 from ..parallel import Executor
+from ..scenarios.engine import RoundOutcome, ScenarioEngine
 from ..sparsity.accounting import SparseCost
 from ..systems.cost import CostBreakdown, LocalCostModel
 from ..systems.devices import DeviceFleet, sample_device_fleet
@@ -81,6 +82,9 @@ class FederatedTrainer:
                 f"has {dataset.num_clients} clients")
         self.cost_model = cost_model or LocalCostModel(self.config.cost_alpha,
                                                        seed=self.config.seed)
+        self.scenario = (ScenarioEngine(self.config.scenario,
+                                        seed=self.config.seed)
+                         if self.config.scenario is not None else None)
         self.model = model_builder()
         self.clients: Dict[int, Client] = {
             cid: Client(cid, dataset.client(cid), self.fleet[cid])
@@ -99,10 +103,15 @@ class FederatedTrainer:
         self.strategy.setup(self.context)
         cumulative_flops = 0.0
         cumulative_time = 0.0
+        cumulative_sim_time = 0.0
         for round_index in range(self.config.num_rounds):
-            selected = self.strategy.select_clients(round_index)
-            updates = self._run_local_updates(round_index, selected)
-            self.strategy.aggregate(round_index, updates)
+            selected = self._select_clients(round_index)
+            if self.scenario is not None:
+                active, unavailable = self.scenario.split_available(
+                    round_index, selected)
+            else:
+                active, unavailable = list(selected), []
+            updates = self._run_local_updates(round_index, active)
 
             costs: Dict[int, CostBreakdown] = {}
             round_flops = 0.0
@@ -118,12 +127,20 @@ class FederatedTrainer:
                 upload += update.upload_bytes
                 download += update.download_bytes
             round_time = LocalCostModel.round_time(costs.values())
-            self.strategy.post_round(round_index, updates, costs)
+            outcome = self._resolve_round(round_index, costs)
+            kept = set(outcome.participants)
+            kept_updates = [u for u in updates if u.client_id in kept]
+            kept_costs = {u.client_id: costs[u.client_id]
+                          for u in kept_updates}
+            self.strategy.aggregate(round_index, kept_updates)
+            self.strategy.post_round(round_index, kept_updates, kept_costs)
 
             cumulative_flops += round_flops
             cumulative_time += round_time
-            train_accuracy = (float(np.mean([u.train_accuracy for u in updates]))
-                              if updates else 0.0)
+            cumulative_sim_time += outcome.sim_time
+            train_accuracy = (float(np.mean([u.train_accuracy
+                                             for u in kept_updates]))
+                              if kept_updates else 0.0)
             should_eval = ((round_index + 1) % self.config.eval_every == 0
                            or round_index == self.config.num_rounds - 1)
             # when evaluation is skipped this round, the last fresh value is
@@ -140,8 +157,49 @@ class FederatedTrainer:
                 cumulative_flops=cumulative_flops,
                 cumulative_time_seconds=cumulative_time,
                 sparse_ratios={u.client_id: u.sparse_ratio for u in updates},
-                evaluated=should_eval))
+                evaluated=should_eval,
+                sim_time=outcome.sim_time,
+                cumulative_sim_time=cumulative_sim_time,
+                dropped=sorted(unavailable) + list(outcome.stragglers),
+                straggler_count=len(outcome.stragglers)))
         return history
+
+    # -------------------------------------------------------------- scenario
+    def _select_clients(self, round_index: int) -> List[int]:
+        """Ask the strategy for a round's clients, over-selecting if asked.
+
+        Over-selection widens ``clients_per_round`` *through the config* for
+        the duration of the call, so every strategy's own selection logic
+        (uniform, Oort-style utility, ...) sees the widened budget without
+        API changes.
+        """
+        if self.scenario is None:
+            return self.strategy.select_clients(round_index)
+        base = self.config.clients_per_round
+        target = min(self.scenario.selection_target(base), len(self.clients))
+        if target == base:
+            return self.strategy.select_clients(round_index)
+        self.config.clients_per_round = target
+        try:
+            return self.strategy.select_clients(round_index)
+        finally:
+            self.config.clients_per_round = base
+
+    def _resolve_round(self, round_index: int,
+                       costs: Dict[int, CostBreakdown]) -> RoundOutcome:
+        """Let the scenario decide who survives and how long the round took.
+
+        Without a scenario every client that ran participates and the round
+        takes the synchronous Eq. 18 time, exactly as before this engine
+        existed.
+        """
+        if self.scenario is None:
+            return RoundOutcome(tuple(sorted(costs)), (),
+                                LocalCostModel.round_time(costs.values()))
+        latencies = {client_id: self.scenario.latency(
+            round_index, client_id, cost.total_seconds)
+            for client_id, cost in costs.items()}
+        return self.scenario.resolve(round_index, latencies)
 
     # ------------------------------------------------------------- dispatch
     def _dispatch_strategy(self, client: Client) -> Strategy:

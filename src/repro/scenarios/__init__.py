@@ -1,0 +1,30 @@
+"""System-heterogeneity scenario engine.
+
+The paper's evaluation assumes every sampled client finishes every round;
+this package gives the simulation a wall clock.  A
+:class:`~repro.scenarios.config.ScenarioConfig` describes how the system
+misbehaves — clients may be unavailable (Bernoulli- or trace-driven),
+straggle (deterministic background-load spikes on top of the
+:mod:`repro.systems.cost` latency model) — and which participation policy
+the server applies (``wait-all``, ``deadline`` with over-selection, or
+``fastest-k``).  The :class:`~repro.scenarios.engine.ScenarioEngine` turns
+that description into per-round decisions that are pure functions of
+``(seed, round_index, client_id)``, so histories stay bit-identical across
+the serial/thread/process executor backends.
+"""
+
+from .config import PARTICIPATION_POLICIES, ScenarioConfig
+from .engine import RoundOutcome, ScenarioEngine
+from .presets import (SCENARIO_NAMES, available_scenarios, build_scenario,
+                      synthetic_availability_trace)
+
+__all__ = [
+    "ScenarioConfig",
+    "PARTICIPATION_POLICIES",
+    "ScenarioEngine",
+    "RoundOutcome",
+    "SCENARIO_NAMES",
+    "available_scenarios",
+    "build_scenario",
+    "synthetic_availability_trace",
+]

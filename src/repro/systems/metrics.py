@@ -25,6 +25,17 @@ class RoundRecord:
     #: False when evaluation was skipped this round and ``test_accuracy``
     #: merely carries the last fresh value forward (``eval_every > 1``)
     evaluated: bool = True
+    #: simulated wall-clock the server spent on the round under the active
+    #: scenario (equals ``round_time_seconds`` in the ideal setting, but can
+    #: exceed it when the server idles until a deadline, or undercut it when
+    #: stragglers are dropped early)
+    sim_time: float = 0.0
+    cumulative_sim_time: float = 0.0
+    #: invited clients that did not contribute to aggregation — unavailable
+    #: at invitation time or cut by the participation policy
+    dropped: List[int] = field(default_factory=list)
+    #: how many of ``dropped`` ran their update but were cut as stragglers
+    straggler_count: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-JSON representation (used by the sweep result cache)."""
@@ -43,6 +54,10 @@ class RoundRecord:
                               for cid, ratio in self.sparse_ratios.items()},
             "extras": dict(self.extras),
             "evaluated": self.evaluated,
+            "sim_time": self.sim_time,
+            "cumulative_sim_time": self.cumulative_sim_time,
+            "dropped": list(self.dropped),
+            "straggler_count": self.straggler_count,
         }
 
     @classmethod
@@ -56,6 +71,10 @@ class RoundRecord:
             for cid, ratio in dict(data.get("sparse_ratios", {})).items()}
         data["extras"] = dict(data.get("extras", {}))
         data.setdefault("evaluated", True)
+        data.setdefault("sim_time", 0.0)
+        data.setdefault("cumulative_sim_time", 0.0)
+        data["dropped"] = [int(cid) for cid in data.get("dropped", [])]
+        data.setdefault("straggler_count", 0)
         return cls(**data)
 
 
@@ -104,6 +123,20 @@ class TrainingHistory:
     def total_upload_bytes(self) -> float:
         return float(sum(record.upload_bytes for record in self.records))
 
+    @property
+    def total_sim_time(self) -> float:
+        """Simulated wall-clock under the scenario (0 for pre-scenario runs)."""
+        return self.records[-1].cumulative_sim_time if self.records else 0.0
+
+    @property
+    def total_dropped(self) -> int:
+        """Invited-but-not-aggregated client slots across the whole run."""
+        return int(sum(len(record.dropped) for record in self.records))
+
+    @property
+    def total_stragglers(self) -> int:
+        return int(sum(record.straggler_count for record in self.records))
+
     # ------------------------------------------------------------ summaries
     def final_accuracy(self, last_rounds: int = 3) -> float:
         """Average accuracy over the trailing ``last_rounds`` rounds."""
@@ -121,6 +154,27 @@ class TrainingHistory:
             if record.test_accuracy >= target:
                 return record.cumulative_time_seconds
         return None
+
+    def sim_time_to_accuracy(self, target: float) -> Optional[float]:
+        """Simulated scenario seconds until ``target`` accuracy is reached."""
+        for record in self.records:
+            if record.test_accuracy >= target:
+                return record.cumulative_sim_time
+        return None
+
+    def time_to_fraction(self, fraction: float = 0.9) -> Optional[float]:
+        """Scenario seconds until ``fraction`` of the run's best accuracy.
+
+        Expressing the target relative to the run's own best keeps
+        time-to-accuracy comparable across datasets and scenarios, where
+        absolute targets may never be reached.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        best = self.best_accuracy()
+        if best <= 0.0:
+            return None
+        return self.sim_time_to_accuracy(fraction * best)
 
     def flops_to_accuracy(self, target: float) -> Optional[float]:
         """Cumulative FLOPs until ``target`` accuracy is first reached."""
@@ -146,7 +200,10 @@ class TrainingHistory:
             "train_accuracy": record.train_accuracy,
             "cumulative_flops": record.cumulative_flops,
             "cumulative_time_seconds": record.cumulative_time_seconds,
+            "cumulative_sim_time": record.cumulative_sim_time,
             "upload_bytes": record.upload_bytes,
+            "dropped": len(record.dropped),
+            "stragglers": record.straggler_count,
         } for record in self.records]
 
     # --------------------------------------------------------- serialization

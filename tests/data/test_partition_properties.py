@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) for the non-IID partitioners.
+
+The invariants every partitioner must uphold:
+
+* the client index sets are pairwise disjoint,
+* together they cover the dataset exactly (no example lost or duplicated),
+* the pathological partition gives each client at most ``classes_per_client``
+  distinct labels (and exactly that many when the data allows it),
+* the Dirichlet partition honours its ``min_examples`` floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Dataset
+from repro.data.partition import (dirichlet_partition, iid_partition,
+                                  pathological_partition)
+
+
+def label_dataset(num_classes: int, examples_per_class: int,
+                  seed: int) -> Dataset:
+    """A tiny labelled dataset with a balanced, shuffled label vector."""
+    rng = np.random.default_rng(seed)
+    y = rng.permutation(np.repeat(np.arange(num_classes), examples_per_class))
+    x = rng.standard_normal((len(y), 3))
+    return Dataset(x, y)
+
+
+def assert_exact_cover(partitions, dataset):
+    """Disjointness + coverage: the partition is a bijection onto indices."""
+    merged = np.concatenate([np.asarray(part) for part in partitions]) \
+        if partitions else np.zeros(0, dtype=np.int64)
+    assert len(merged) == len(dataset), "examples lost or duplicated"
+    assert len(np.unique(merged)) == len(merged), "index assigned twice"
+    assert set(merged.tolist()) == set(range(len(dataset)))
+
+
+@given(num_clients=st.integers(min_value=1, max_value=12),
+       num_classes=st.integers(min_value=2, max_value=6),
+       examples_per_class=st.integers(min_value=4, max_value=12),
+       seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40, deadline=None)
+def test_iid_partition_is_an_exact_cover(num_clients, num_classes,
+                                         examples_per_class, seed):
+    dataset = label_dataset(num_classes, examples_per_class, seed)
+    partitions = iid_partition(dataset, num_clients, seed=seed)
+    assert len(partitions) == num_clients
+    assert_exact_cover(partitions, dataset)
+    # the deal is even: client sizes differ by at most one example
+    sizes = [len(part) for part in partitions]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@given(num_clients=st.integers(min_value=1, max_value=10),
+       num_classes=st.integers(min_value=2, max_value=6),
+       classes_per_client=st.integers(min_value=1, max_value=6),
+       examples_per_class=st.integers(min_value=6, max_value=14),
+       seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40, deadline=None)
+def test_pathological_partition_properties(num_clients, num_classes,
+                                           classes_per_client,
+                                           examples_per_class, seed):
+    classes_per_client = min(classes_per_client, num_classes)
+    dataset = label_dataset(num_classes, examples_per_class, seed)
+    if num_clients * classes_per_client < num_classes:
+        # coverage is impossible: rejecting beats silently dropping classes
+        with pytest.raises(ValueError):
+            pathological_partition(dataset, num_clients, classes_per_client,
+                                   seed=seed)
+        return
+    partitions = pathological_partition(dataset, num_clients,
+                                        classes_per_client, seed=seed)
+    assert len(partitions) == num_clients
+    assert_exact_cover(partitions, dataset)
+    labels = dataset.y
+    for part in partitions:
+        distinct = np.unique(labels[np.asarray(part, dtype=np.int64)]) \
+            if len(part) else np.zeros(0)
+        # label-skew contract: never more classes than requested
+        assert len(distinct) <= classes_per_client
+
+
+@given(num_classes=st.integers(min_value=2, max_value=6),
+       examples_per_class=st.integers(min_value=6, max_value=14),
+       seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=25, deadline=None)
+def test_pathological_partition_uses_all_requested_classes(
+        num_classes, examples_per_class, seed):
+    # with one client per class bundle and ample data, every client gets
+    # exactly classes_per_client distinct labels
+    dataset = label_dataset(num_classes, examples_per_class, seed)
+    classes_per_client = 2 if num_classes >= 2 else 1
+    partitions = pathological_partition(dataset, num_clients=num_classes,
+                                        classes_per_client=classes_per_client,
+                                        seed=seed)
+    labels = dataset.y
+    for part in partitions:
+        assert len(part) > 0
+        distinct = np.unique(labels[np.asarray(part, dtype=np.int64)])
+        assert len(distinct) == classes_per_client
+
+
+@given(num_clients=st.integers(min_value=2, max_value=8),
+       num_classes=st.integers(min_value=2, max_value=5),
+       alpha=st.floats(min_value=0.1, max_value=10.0),
+       min_examples=st.integers(min_value=1, max_value=3),
+       seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40, deadline=None)
+def test_dirichlet_partition_properties(num_clients, num_classes, alpha,
+                                        min_examples, seed):
+    # enough data that the retry loop can satisfy the floor
+    dataset = label_dataset(num_classes, examples_per_class=20, seed=seed)
+    try:
+        partitions = dirichlet_partition(dataset, num_clients, alpha,
+                                         seed=seed, min_examples=min_examples)
+    except RuntimeError:
+        # the partitioner is allowed to give up, but never to hand back a
+        # partition violating the floor — covered below
+        return
+    assert len(partitions) == num_clients
+    assert_exact_cover(partitions, dataset)
+    assert all(len(part) >= min_examples for part in partitions)
+
+
+def test_dirichlet_raises_rather_than_violating_min_size():
+    # 2 examples cannot give 4 clients 2 examples each
+    dataset = label_dataset(num_classes=2, examples_per_class=1, seed=0)
+    try:
+        partitions = dirichlet_partition(dataset, num_clients=4, alpha=0.1,
+                                         seed=0, min_examples=2)
+    except RuntimeError:
+        return
+    raise AssertionError(
+        f"expected RuntimeError, got partition sizes "
+        f"{[len(p) for p in partitions]}")
+
+
+@given(num_clients=st.integers(min_value=2, max_value=8),
+       seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=25, deadline=None)
+def test_partitions_are_deterministic_in_the_seed(num_clients, seed):
+    dataset = label_dataset(3, 8, seed)
+    for partition in (lambda: iid_partition(dataset, num_clients, seed=seed),
+                      lambda: pathological_partition(dataset, num_clients, 2,
+                                                     seed=seed)):
+        first = partition()
+        second = partition()
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))

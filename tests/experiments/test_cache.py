@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.experiments import (ResultCache, preset_for, run_method,
                                run_methods, run_spec, run_sweep, scaled,
                                spec_key)
@@ -27,6 +29,50 @@ class TestSpecKeys:
         assert spec_key(run_spec("fedavg", tiny_preset(seed=6))) != base
         assert spec_key(run_spec("fedavg", tiny_preset(),
                                  {"mu": 0.5})) != base
+
+    def test_key_covers_the_scenario(self):
+        base = spec_key(run_spec("fedavg", tiny_preset()))
+        assert spec_key(run_spec(
+            "fedavg", tiny_preset(scenario="deadline-tight"))) != base
+
+    def test_kwargs_insertion_order_is_irrelevant(self):
+        forward = run_spec("fedavg", tiny_preset(), {"a": 1, "b": 2})
+        backward = run_spec("fedavg", tiny_preset(), {"b": 2, "a": 1})
+        assert spec_key(forward) == spec_key(backward)
+
+    def test_nested_dict_insertion_order_is_irrelevant(self):
+        forward = run_spec("fedavg", tiny_preset(),
+                           {"sched": {"warmup": 2, "decay": 0.9}})
+        backward = run_spec("fedavg", tiny_preset(),
+                            {"sched": {"decay": 0.9, "warmup": 2}})
+        assert spec_key(forward) == spec_key(backward)
+
+    def test_non_string_keys_are_canonicalized(self):
+        # int-keyed overrides must survive a JSON round trip and stay
+        # order-insensitive (json would otherwise stringify the keys and
+        # break the stored-spec comparison on every read)
+        forward = run_spec("fedavg", tiny_preset(), {"ratios": {2: 0.5, 1: 1.0}})
+        backward = run_spec("fedavg", tiny_preset(), {"ratios": {1: 1.0, 2: 0.5}})
+        assert spec_key(forward) == spec_key(backward)
+        round_tripped = json.loads(json.dumps(forward))
+        assert round_tripped == forward
+
+    def test_colliding_keys_fail_loudly(self):
+        # {1: ..., "1": ...} cannot be canonicalized without dropping an
+        # entry; a loud error beats a silent wrong cache hit
+        with pytest.raises(ValueError):
+            spec_key(run_spec("fedavg", tiny_preset(), {"m": {1: "a", "1": "b"}}))
+
+    def test_sets_hash_order_independently(self):
+        forward = run_spec("fedavg", tiny_preset(), {"levels": {0.5, 1.0, 0.25}})
+        backward = run_spec("fedavg", tiny_preset(), {"levels": {1.0, 0.25, 0.5}})
+        assert spec_key(forward) == spec_key(backward)
+
+    def test_extra_config_order_is_irrelevant(self):
+        forward = tiny_preset(extra_config={"x": 1.0, "y": 2.0})
+        backward = tiny_preset(extra_config={"y": 2.0, "x": 1.0})
+        assert (spec_key(run_spec("fedavg", forward))
+                == spec_key(run_spec("fedavg", backward)))
 
 
 class TestResultCache:
@@ -98,3 +144,12 @@ class TestCachedSweeps:
         run_method("fedavg", tiny_preset(),
                    strategy=build_strategy("fedavg"), cache=cache)
         assert len(cache) == 0
+
+    def test_reordered_kwargs_hit_the_same_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        history = run_method("fedlps", tiny_preset())
+        cache.put("fedlps", tiny_preset(), {"mu": 0.1, "lam": 0.2}, history)
+        restored = cache.get("fedlps", tiny_preset(), {"lam": 0.2, "mu": 0.1})
+        assert restored is not None
+        assert restored.to_dict() == history.to_dict()
+        assert len(cache) == 1

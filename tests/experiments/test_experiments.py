@@ -51,7 +51,12 @@ class TestRunner:
         assert len(history) == TINY["num_rounds"]
         summary = summarize(history)
         assert set(summary) == {"accuracy", "best_accuracy", "total_flops",
-                                "total_time_seconds", "total_upload_bytes"}
+                                "total_time_seconds", "total_upload_bytes",
+                                "sim_time_seconds", "time_to_accuracy_seconds",
+                                "dropped_clients", "straggler_drops"}
+        # without a scenario the simulated clock equals the Eq. 18 round time
+        assert summary["sim_time_seconds"] == pytest.approx(
+            summary["total_time_seconds"])
 
     def test_run_methods_multiple(self):
         preset = scaled(preset_for("mnist"), **TINY)

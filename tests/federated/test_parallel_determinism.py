@@ -29,9 +29,12 @@ TINY = dict(num_clients=4, num_rounds=2, clients_per_round=2,
 #: P-UCBV (fedlps), per-client UCB bandit (fedmp), personal models (ditto)
 STATEFUL_METHODS = ["fedlps", "fedmp", "ditto"]
 
+#: scenarios that exercise dropout + deadline decisions on top of fan-out
+SCENARIOS = ["flaky", "deadline-tight", "trace"]
 
-def tiny_preset():
-    return scaled(preset_for("mnist"), **TINY)
+
+def tiny_preset(scenario="ideal"):
+    return scaled(preset_for("mnist"), scenario=scenario, **TINY)
 
 
 def assert_histories_identical(reference, candidate):
@@ -58,6 +61,27 @@ class TestThreadBackendDeterminism:
         assert_histories_identical(reference, candidate)
 
 
+class TestScenarioDeterminism:
+    """Scenario engines (dropout, stragglers, deadlines) must not perturb the
+    executor contract: the engine's decisions are server-side functions of
+    (seed, round, client), so deadline cuts and availability draws cannot
+    depend on which worker ran an update or in which order results arrived."""
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_scenarios_identical_serial_vs_thread(self, scenario):
+        reference = run_method("fedlps", tiny_preset(scenario))
+        with ThreadPoolExecutor(2) as executor:
+            candidate = run_method("fedlps", tiny_preset(scenario),
+                                   executor=executor)
+        assert_histories_identical(reference, candidate)
+
+    def test_scenario_history_actually_drops_clients(self):
+        # guard against the scenario silently degenerating to ideal, which
+        # would make the cross-backend comparisons above vacuous
+        history = run_method("fedlps", tiny_preset("deadline-tight"))
+        assert history.total_dropped > 0
+
+
 class TestProcessBackendDeterminism:
     @pytest.fixture(scope="class")
     def pool(self):
@@ -68,6 +92,14 @@ class TestProcessBackendDeterminism:
     def test_stateful_strategies(self, method, pool):
         reference = run_method(method, tiny_preset())
         candidate = run_method(method, tiny_preset(), executor=pool)
+        assert_histories_identical(reference, candidate)
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_scenarios_through_processes(self, scenario, pool):
+        # the acceptance-criteria scenario: a deadline/dropout run through a
+        # real spawned process pool, bit-identical to the serial reference
+        reference = run_method("fedavg", tiny_preset(scenario))
+        candidate = run_method("fedavg", tiny_preset(scenario), executor=pool)
         assert_histories_identical(reference, candidate)
 
     def test_sweep_jobs_through_processes(self, pool):

@@ -1,0 +1,88 @@
+"""Golden-history fixtures: pinned runs guarding against numeric drift.
+
+Every registry strategy is run once on a tiny fixed preset (plus a few
+scenario variants) and the exact resulting history JSON is committed under
+``tests/fixtures/golden/``.  The companion test
+(``tests/test_golden_histories.py``) re-runs each spec and fails on ANY
+difference — a changed selection, a shifted float, a new field default.
+
+When a change intentionally alters numerics (new RNG stream, different
+aggregation math, retuned defaults), regenerate the fixtures with::
+
+    python tests/fixtures/regenerate_golden.py
+
+and review the diff like any other code change: the diff IS the behavioural
+change you are shipping.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+FIXTURE_DIR = Path(__file__).resolve().parent / "golden"
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: the tiny preset every golden run uses — small enough that the full
+#: registry regenerates in well under a minute on a laptop CPU
+GOLDEN_OVERRIDES = dict(num_clients=4, num_rounds=2, clients_per_round=2,
+                        examples_per_client=20, local_iterations=2,
+                        batch_size=8, seed=11)
+
+#: scenario variants pinned in addition to the ideal-setting registry sweep
+GOLDEN_SCENARIOS = (
+    ("fedavg", "deadline-tight"),
+    ("fedavg", "trace"),
+    ("fedlps", "deadline-tight"),
+)
+
+
+def golden_specs():
+    """(fixture name, method, scenario) for every pinned run."""
+    from repro.baselines import available_strategies
+
+    specs = [(method, method, "ideal") for method in available_strategies()]
+    specs.extend((f"{method}--{scenario}", method, scenario)
+                 for method, scenario in GOLDEN_SCENARIOS)
+    return specs
+
+
+def golden_preset(scenario: str):
+    from repro.experiments import preset_for, scaled
+
+    return scaled(preset_for("mnist"), scenario=scenario, **GOLDEN_OVERRIDES)
+
+
+def run_golden(method: str, scenario: str):
+    """One pinned run; shared by the regenerator and the regression test."""
+    from repro.experiments import run_method
+
+    return run_method(method, golden_preset(scenario))
+
+
+def fixture_path(name: str) -> Path:
+    return FIXTURE_DIR / f"{name.replace('/', '_')}.json"
+
+
+def regenerate() -> int:
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    specs = golden_specs()
+    for name, method, scenario in specs:
+        history = run_golden(method, scenario)
+        payload = {
+            "method": method,
+            "scenario": scenario,
+            "overrides": GOLDEN_OVERRIDES,
+            "history": history.to_dict(),
+        }
+        fixture_path(name).write_text(
+            json.dumps(payload, sort_keys=True, indent=1) + "\n")
+        print(f"wrote {fixture_path(name).relative_to(_REPO_ROOT)}")
+    return len(specs)
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+    count = regenerate()
+    print(f"regenerated {count} golden fixtures in {FIXTURE_DIR}")

@@ -1,0 +1,213 @@
+"""Unit tests for the scenario engine: configs, availability, policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (RoundOutcome, ScenarioConfig, ScenarioEngine,
+                             available_scenarios, build_scenario,
+                             synthetic_availability_trace)
+
+
+class TestScenarioConfigValidation:
+    def test_defaults_are_valid(self):
+        ScenarioConfig()
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(policy="vote")
+
+    def test_availability_bounds(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(availability=0.0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(availability=1.5)
+
+    def test_deadline_needs_exactly_one_cutoff(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(policy="deadline")
+        with pytest.raises(ValueError):
+            ScenarioConfig(policy="deadline", deadline_seconds=1.0,
+                           deadline_factor=2.0)
+        ScenarioConfig(policy="deadline", deadline_seconds=1.0)
+        ScenarioConfig(policy="deadline", deadline_factor=2.0)
+
+    def test_fastest_k_needs_k(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(policy="fastest-k")
+        ScenarioConfig(policy="fastest-k", fastest_k=2)
+
+    def test_over_selection_lower_bound(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(over_selection=0.5)
+
+    def test_trace_is_normalized(self):
+        config = ScenarioConfig(
+            availability_trace={"1": [3, 1, 2]})  # JSON-style keys/values
+        assert config.availability_trace == {1: (1, 2, 3)}
+
+
+class TestAvailability:
+    def test_full_availability_never_drops(self):
+        engine = ScenarioEngine(ScenarioConfig(availability=1.0), seed=0)
+        available, unavailable = engine.split_available(0, range(50))
+        assert list(available) == list(range(50))
+        assert unavailable == []
+
+    def test_decisions_are_deterministic(self):
+        first = ScenarioEngine(ScenarioConfig(availability=0.5), seed=7)
+        second = ScenarioEngine(ScenarioConfig(availability=0.5), seed=7)
+        decisions = [(r, c, first.is_available(r, c))
+                     for r in range(10) for c in range(10)]
+        assert decisions == [(r, c, second.is_available(r, c))
+                             for r in range(10) for c in range(10)]
+
+    def test_decisions_depend_on_seed(self):
+        a = ScenarioEngine(ScenarioConfig(availability=0.5), seed=0)
+        b = ScenarioEngine(ScenarioConfig(availability=0.5), seed=1)
+        grid = [(r, c) for r in range(20) for c in range(20)]
+        assert ([a.is_available(r, c) for r, c in grid]
+                != [b.is_available(r, c) for r, c in grid])
+
+    def test_bernoulli_rate_is_plausible(self):
+        engine = ScenarioEngine(ScenarioConfig(availability=0.3), seed=0)
+        draws = [engine.is_available(r, c)
+                 for r in range(40) for c in range(40)]
+        rate = sum(draws) / len(draws)
+        assert 0.25 < rate < 0.35
+
+    def test_trace_overrides_bernoulli(self):
+        config = ScenarioConfig(availability_trace={0: (1, 3)})
+        engine = ScenarioEngine(config, seed=0)
+        available, unavailable = engine.split_available(0, [0, 1, 2, 3])
+        assert available == [1, 3] and unavailable == [0, 2]
+        # rounds missing from the trace leave everyone available
+        available, unavailable = engine.split_available(5, [0, 1, 2, 3])
+        assert available == [0, 1, 2, 3]
+
+
+class TestLatency:
+    def test_no_stragglers_means_cost_model_latency(self):
+        engine = ScenarioEngine(ScenarioConfig(), seed=0)
+        assert engine.latency(0, 0, 2.5) == 2.5
+
+    def test_straggler_spike_multiplies(self):
+        engine = ScenarioEngine(
+            ScenarioConfig(straggler_prob=1.0, straggler_slowdown=4.0), seed=0)
+        assert engine.latency(3, 7, 2.0) == pytest.approx(8.0)
+
+    def test_straggler_draws_are_deterministic(self):
+        config = ScenarioConfig(straggler_prob=0.5, straggler_slowdown=3.0)
+        a = ScenarioEngine(config, seed=9)
+        b = ScenarioEngine(config, seed=9)
+        values = [a.latency(r, c, 1.0) for r in range(10) for c in range(10)]
+        assert values == [b.latency(r, c, 1.0)
+                          for r in range(10) for c in range(10)]
+        assert set(values) == {1.0, 3.0}
+
+    def test_negative_latency_rejected(self):
+        engine = ScenarioEngine(ScenarioConfig(), seed=0)
+        with pytest.raises(ValueError):
+            engine.latency(0, 0, -1.0)
+
+
+class TestPolicies:
+    LAT = {0: 1.0, 1: 4.0, 2: 2.0, 3: 10.0}
+
+    def test_wait_all_keeps_everyone(self):
+        engine = ScenarioEngine(ScenarioConfig(policy="wait-all"), seed=0)
+        outcome = engine.resolve(0, self.LAT)
+        assert outcome.participants == (0, 1, 2, 3)
+        assert outcome.stragglers == ()
+        assert outcome.sim_time == 10.0
+
+    def test_absolute_deadline_drops_stragglers(self):
+        engine = ScenarioEngine(
+            ScenarioConfig(policy="deadline", deadline_seconds=5.0), seed=0)
+        outcome = engine.resolve(0, self.LAT)
+        assert outcome.participants == (0, 1, 2)
+        assert outcome.stragglers == (3,)
+        # the server waited the full deadline for the dropped client
+        assert outcome.sim_time == 5.0
+        assert outcome.deadline == 5.0
+
+    def test_absolute_deadline_without_stragglers_closes_early(self):
+        engine = ScenarioEngine(
+            ScenarioConfig(policy="deadline", deadline_seconds=50.0), seed=0)
+        outcome = engine.resolve(0, self.LAT)
+        assert outcome.participants == (0, 1, 2, 3)
+        assert outcome.sim_time == 10.0
+
+    def test_relative_deadline_scales_with_fastest(self):
+        engine = ScenarioEngine(
+            ScenarioConfig(policy="deadline", deadline_factor=2.0), seed=0)
+        outcome = engine.resolve(0, self.LAT)
+        # cutoff = 2 * 1.0: keeps clients 0 (1.0) and 2 (2.0)
+        assert outcome.participants == (0, 2)
+        assert outcome.stragglers == (1, 3)
+        assert outcome.sim_time == 2.0
+
+    def test_deadline_quorum_waits_past_cutoff(self):
+        engine = ScenarioEngine(
+            ScenarioConfig(policy="deadline", deadline_seconds=0.5,
+                           min_participants=2), seed=0)
+        outcome = engine.resolve(0, self.LAT)
+        # nobody met the deadline; the server waits for the fastest two
+        assert outcome.participants == (0, 2)
+        assert outcome.sim_time == 2.0
+
+    def test_fastest_k(self):
+        engine = ScenarioEngine(
+            ScenarioConfig(policy="fastest-k", fastest_k=2), seed=0)
+        outcome = engine.resolve(0, self.LAT)
+        assert outcome.participants == (0, 2)
+        assert outcome.stragglers == (1, 3)
+        assert outcome.sim_time == 2.0
+
+    def test_fastest_k_ties_break_by_client_id(self):
+        engine = ScenarioEngine(
+            ScenarioConfig(policy="fastest-k", fastest_k=1), seed=0)
+        outcome = engine.resolve(0, {5: 1.0, 2: 1.0})
+        assert outcome.participants == (2,)
+
+    def test_empty_round(self):
+        engine = ScenarioEngine(
+            ScenarioConfig(policy="deadline", deadline_seconds=3.0), seed=0)
+        outcome = engine.resolve(0, {})
+        assert outcome == RoundOutcome((), (), 3.0)
+
+    def test_selection_target_rounds_up(self):
+        engine = ScenarioEngine(ScenarioConfig(over_selection=1.5), seed=0)
+        assert engine.selection_target(4) == 6
+        assert engine.selection_target(3) == 5
+
+
+class TestNamedScenarios:
+    def test_registry_names(self):
+        assert available_scenarios() == ["ideal", "flaky", "deadline-tight",
+                                         "trace"]
+
+    def test_ideal_is_none(self):
+        assert build_scenario("ideal", num_clients=4, num_rounds=2) is None
+
+    @pytest.mark.parametrize("name", ["flaky", "deadline-tight", "trace"])
+    def test_named_scenarios_build(self, name):
+        scenario = build_scenario(name, num_clients=6, num_rounds=4, seed=1)
+        assert scenario is not None and scenario.name == name
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            build_scenario("chaos", num_clients=4, num_rounds=2)
+
+    def test_trace_covers_every_round_with_someone(self):
+        trace = synthetic_availability_trace(8, 30, seed=3)
+        assert set(trace) == set(range(30))
+        assert all(len(available) >= 1 for available in trace.values())
+        assert all(0 <= cid < 8
+                   for available in trace.values() for cid in available)
+
+    def test_trace_is_deterministic(self):
+        assert (synthetic_availability_trace(8, 30, seed=3)
+                == synthetic_availability_trace(8, 30, seed=3))
+        assert (synthetic_availability_trace(8, 30, seed=3)
+                != synthetic_availability_trace(8, 30, seed=4))

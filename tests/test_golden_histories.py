@@ -1,0 +1,61 @@
+"""Golden-history regression suite.
+
+Re-runs every pinned (method, scenario) spec from
+``tests/fixtures/golden/`` and compares the resulting history JSON
+*bit-for-bit* against the committed fixture.  Any numeric drift — a changed
+RNG stream, reordered aggregation, different float math — fails loudly.
+
+Intentional changes are shipped by regenerating the fixtures
+(``python tests/fixtures/regenerate_golden.py``) and reviewing the diff.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "golden_fixtures",
+    Path(__file__).resolve().parent / "fixtures" / "regenerate_golden.py")
+golden = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(golden)
+
+SPECS = golden.golden_specs()
+
+
+class TestFixturesAreComplete:
+    def test_every_registry_strategy_is_pinned(self):
+        from repro.baselines import available_strategies
+
+        pinned = {name for name, _, scenario in SPECS if scenario == "ideal"}
+        assert pinned == set(available_strategies()), (
+            "registry and golden fixtures diverged; run "
+            "`python tests/fixtures/regenerate_golden.py`")
+
+    def test_no_orphan_fixture_files(self):
+        expected = {golden.fixture_path(name).name for name, _, _ in SPECS}
+        actual = {path.name for path in golden.FIXTURE_DIR.glob("*.json")}
+        assert actual == expected, (
+            "stale or missing golden fixture files; run "
+            "`python tests/fixtures/regenerate_golden.py`")
+
+
+@pytest.mark.parametrize("name,method,scenario",
+                         SPECS, ids=[name for name, _, _ in SPECS])
+def test_history_matches_golden_fixture(name, method, scenario):
+    path = golden.fixture_path(name)
+    assert path.exists(), (
+        f"missing golden fixture {path.name}; run "
+        "`python tests/fixtures/regenerate_golden.py`")
+    payload = json.loads(path.read_text())
+    assert payload["overrides"] == dict(golden.GOLDEN_OVERRIDES), (
+        "golden preset changed; regenerate the fixtures")
+    history = golden.run_golden(method, scenario)
+    # round-trip through JSON so float formatting cannot mask a mismatch
+    fresh = json.loads(json.dumps(history.to_dict()))
+    assert fresh == payload["history"], (
+        f"numeric drift in {method!r} ({scenario}); if intentional, run "
+        "`python tests/fixtures/regenerate_golden.py` and commit the diff")

@@ -87,12 +87,22 @@ def test_param_arithmetic_identities(seed, factor):
 def test_pathological_partition_invariants(num_clients, classes_per_client, seed):
     rng = np.random.default_rng(seed)
     dataset = Dataset(rng.standard_normal((300, 2)), rng.integers(0, 5, 300))
+    num_classes = int(dataset.y.max()) + 1
+    if num_clients * classes_per_client < num_classes:
+        # too few client-class slots to cover every class: explicit error
+        try:
+            pathological_partition(dataset, num_clients, classes_per_client,
+                                   seed=seed)
+        except ValueError:
+            return
+        raise AssertionError("expected ValueError for uncoverable partition")
     parts = pathological_partition(dataset, num_clients, classes_per_client,
                                    seed=seed)
     assert len(parts) == num_clients
     joined = np.concatenate([p for p in parts if len(p)]) if parts else np.array([])
-    # no example is assigned twice
+    # no example is assigned twice, and every example is assigned
     assert len(joined) == len(np.unique(joined))
+    assert len(joined) == len(dataset)
     for indices in parts:
         assert len(np.unique(dataset.y[indices])) <= classes_per_client
 
