@@ -1,0 +1,12 @@
+"""Performance benchmarking harness (``repro bench``)."""
+
+from .fanout import (BENCH_METHOD, fanout_preset, format_bench_report,
+                     measure_fanout_bytes, run_fanout_bench)
+
+__all__ = [
+    "BENCH_METHOD",
+    "fanout_preset",
+    "format_bench_report",
+    "measure_fanout_bytes",
+    "run_fanout_bench",
+]

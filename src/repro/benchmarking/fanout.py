@@ -1,0 +1,251 @@
+"""Round fan-out benchmark: wall-clock and bytes across executor backends.
+
+``repro bench`` times the same federated workload (FedLPS on the MNIST
+preset — sparse patterns, per-client importance state, the P-UCBV bandit)
+through every executor backend and worker count, with persistent pools warmed
+up before timing so the numbers measure round fan-out rather than worker
+start-up.  The spawn/start-up cost is recorded separately, both for honesty
+and because the CI gate uses it as the tolerated margin between the process
+and serial backends on starved runners.
+
+Alongside wall-clock, the benchmark measures the serialization traffic of
+one round two ways — with the legacy per-task payloads (every task carries
+its own pickled strategy + parameters) and with the shared-memory broadcast
+(parameters travel as raw blocks once per round, tasks carry handles) — and
+reports the reduction factor.  Everything lands in ``BENCH_fanout.json``,
+schema-compatible with the ``BENCH_parallel.json`` family (per-backend
+``mean/min/samples_seconds``, ``cpu_count``, ``bench_scale``) so future perf
+PRs have a trajectory to move.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from ..experiments import preset_for, run_method, scaled
+from ..parallel import broadcast_stats, reset_broadcast_stats, resolve_executor
+
+#: the method every fan-out benchmark runs — FedLPS exercises the heaviest
+#: state flows (importance indicators, bandit bookkeeping, sparse patterns)
+BENCH_METHOD = "fedlps"
+
+#: minimum process-vs-serial gate margin, guarding against a spuriously tiny
+#: spawn-overhead measurement turning the gate into a coin flip
+GATE_MARGIN_FLOOR_SECONDS = 0.1
+
+
+def fanout_preset(scale: float = 1.0):
+    """The benchmark workload at ``scale`` (1.0 == the CI smoke workload).
+
+    Scale 1.0 reproduces the ``BENCH_parallel.json`` workload exactly
+    (6 clients x 30 examples, 3 rounds, 2 local iterations), so fan-out
+    numbers stay comparable across the two artifacts.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    num_clients = max(4, int(round(6 * scale)))
+    overrides = {
+        "num_clients": num_clients,
+        "examples_per_client": max(16, int(round(30 * scale))),
+        "num_rounds": max(2, int(round(3 * scale))),
+        "clients_per_round": min(3, num_clients),
+        "local_iterations": max(1, int(round(2 * scale))),
+        "batch_size": 16,
+        "seed": 7,
+    }
+    return scaled(preset_for("mnist"), **overrides)
+
+
+def _timed_run(preset, executor=None, *, use_broadcast: bool = True) -> float:
+    start = time.perf_counter()
+    run_method(BENCH_METHOD, preset, executor=executor,
+               use_broadcast=use_broadcast)
+    return time.perf_counter() - start
+
+
+def measure_fanout_bytes(preset) -> Dict[str, float]:
+    """Serialized bytes per round: legacy per-task payloads vs broadcast.
+
+    Both passes run on a 2-worker thread pool with a payload witness that
+    pickles every submitted task payload — the payload objects are identical
+    to what the process backend would ship, so the counts transfer.  The
+    broadcast pass additionally reads the server-side broadcast counters:
+    the pickled-once template blob and the raw (never pickled) parameter
+    blocks in shared memory.
+    """
+    rounds = preset.num_rounds
+
+    def _witnessed_run(use_broadcast: bool) -> int:
+        task_bytes = 0
+
+        def witness(item) -> None:
+            nonlocal task_bytes
+            task_bytes += len(pickle.dumps(item, pickle.HIGHEST_PROTOCOL))
+
+        with resolve_executor("thread", 2) as executor:
+            executor.payload_witness = witness
+            run_method(BENCH_METHOD, preset, executor=executor,
+                       use_broadcast=use_broadcast)
+        return task_bytes
+
+    legacy_bytes = _witnessed_run(use_broadcast=False)
+    reset_broadcast_stats()
+    broadcast_task_bytes = _witnessed_run(use_broadcast=True)
+    stats = broadcast_stats()
+    broadcast_pickled = broadcast_task_bytes + stats["blob_bytes"]
+    return {
+        "legacy_pickled_per_round": legacy_bytes / rounds,
+        "broadcast_pickled_per_round": broadcast_pickled / rounds,
+        "broadcast_task_payloads_per_round": broadcast_task_bytes / rounds,
+        "shared_memory_raw_per_round": stats["param_bytes"] / rounds,
+        "broadcast_publishes": stats["publishes"],
+        "reduction_factor": (legacy_bytes / broadcast_pickled
+                             if broadcast_pickled else float("inf")),
+        "clients_per_round": preset.clients_per_round,
+        "num_rounds": rounds,
+    }
+
+
+def run_fanout_bench(scale: float = 1.0,
+                     backends: Iterable[str] = ("serial", "thread", "process"),
+                     worker_counts: Iterable[int] = (1, 2, 4),
+                     repeats: int = 2,
+                     output: Optional[str] = None) -> Dict[str, object]:
+    """Run the fan-out benchmark and return (and optionally write) the report.
+
+    For each pool backend x worker count, one executor is created and kept
+    for the whole cell: a warm-up run pays the pool start-up and fills the
+    worker-side broadcast caches' import costs, then ``repeats`` timed runs
+    measure steady-state round fan-out.  ``spawn_overhead`` = warm-up time
+    minus the steady-state mean, clamped at zero.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    preset = fanout_preset(scale)
+    reference = run_method(BENCH_METHOD, preset)
+
+    timings: Dict[str, Dict[str, object]] = {}
+    for backend in backends:
+        counts = [1] if backend == "serial" else list(worker_counts)
+        for workers in counts:
+            label = backend if backend == "serial" else f"{backend}-{workers}"
+            with resolve_executor(backend, workers) as executor:
+                # the warm phase pays worker spawn + module imports + the
+                # first run; steady-state samples then measure pure fan-out
+                warm_start = time.perf_counter()
+                executor.warm_up()
+                history = run_method(BENCH_METHOD, preset, executor=executor)
+                warmup_seconds = time.perf_counter() - warm_start
+                samples = [_timed_run(preset, executor)
+                           for _ in range(repeats)]
+            mean = sum(samples) / len(samples)
+            spawn_overhead = max(0.0, warmup_seconds - mean)
+            timings[label] = {
+                "workers": workers,
+                "samples_seconds": samples,
+                "mean_seconds": mean,
+                "min_seconds": min(samples),
+                "warmup_seconds": warmup_seconds,
+                "spawn_overhead_seconds": spawn_overhead,
+                "matches_serial_reference":
+                    history.to_dict() == reference.to_dict(),
+            }
+
+    report: Dict[str, object] = {
+        "bench_scale": scale,
+        "method": BENCH_METHOD,
+        "workload": {
+            "dataset": preset.dataset,
+            "num_clients": preset.num_clients,
+            "clients_per_round": preset.clients_per_round,
+            "num_rounds": preset.num_rounds,
+            "local_iterations": preset.local_iterations,
+        },
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "cpu_count": os.cpu_count(),
+        "timings": timings,
+        "bytes": measure_fanout_bytes(preset),
+        "gate": _gate(timings),
+    }
+    if output:
+        Path(output).write_text(json.dumps(report, indent=2, sort_keys=True))
+    return report
+
+
+def _gate(timings: Dict[str, Dict[str, object]]) -> Dict[str, object]:
+    """The CI pass/fail verdict: correctness, then wall-clock.
+
+    Every benchmarked backend must reproduce the serial reference history
+    bit-for-bit.  On wall-clock, steady-state process fan-out may
+    legitimately trail serial on a starved (1-2 core) runner because of
+    per-task IPC, but never by more than *its own* recorded pool start-up
+    overhead — if it does, per-task payloads have regressed.  Without both
+    backends in the run the timing clause passes vacuously.
+    """
+    diverged = sorted(label for label, entry in timings.items()
+                      if not entry["matches_serial_reference"])
+    if diverged:
+        return {"pass": False,
+                "reason": f"histories diverged from the serial reference: "
+                          f"{diverged}"}
+    serial = timings.get("serial")
+    process_entries = {label: entry for label, entry in timings.items()
+                       if label.startswith("process-")}
+    if serial is None or not process_entries:
+        return {"pass": True, "reason": "serial + process not both benchmarked"}
+    best_label = min(process_entries,
+                     key=lambda label: process_entries[label]["mean_seconds"])
+    best = process_entries[best_label]
+    process_mean = float(best["mean_seconds"])
+    serial_mean = float(serial["mean_seconds"])
+    # the margin is the compared cell's own spawn overhead (not the worst
+    # cell's), so slack from a wider pool cannot mask a fan-out regression
+    margin = max(float(best["spawn_overhead_seconds"]),
+                 GATE_MARGIN_FLOOR_SECONDS)
+    return {
+        "pass": process_mean <= serial_mean + margin,
+        "serial_mean_seconds": serial_mean,
+        "process_mean_seconds": process_mean,
+        "process_entry": best_label,
+        "margin_seconds": margin,
+    }
+
+
+def format_bench_report(report: Dict[str, object]) -> str:
+    """Render a report as the aligned text table the CLI prints."""
+    lines = [f"# repro bench — scale {report['bench_scale']}, "
+             f"method {report['method']}, cpu_count {report['cpu_count']}"]
+    header = (f"{'backend':>12s} | {'workers':>7s} | {'mean_s':>10s} | "
+              f"{'min_s':>10s} | {'spawn_s':>10s} | {'identical':>9s}")
+    lines += [header, "-" * len(header)]
+    for label, entry in sorted(report["timings"].items()):
+        lines.append(
+            f"{label:>12s} | {entry['workers']:>7d} | "
+            f"{entry['mean_seconds']:>10.4f} | {entry['min_seconds']:>10.4f} | "
+            f"{entry['spawn_overhead_seconds']:>10.4f} | "
+            f"{str(entry['matches_serial_reference']):>9s}")
+    traffic = report["bytes"]
+    lines.append(
+        f"bytes/round: legacy {traffic['legacy_pickled_per_round']:.0f} -> "
+        f"broadcast {traffic['broadcast_pickled_per_round']:.0f} pickled "
+        f"(+{traffic['shared_memory_raw_per_round']:.0f} raw shared-memory), "
+        f"reduction {traffic['reduction_factor']:.1f}x "
+        f"(clients_per_round={traffic['clients_per_round']})")
+    gate = report["gate"]
+    if "serial_mean_seconds" in gate:
+        lines.append(
+            f"gate: process {gate['process_mean_seconds']:.4f}s vs serial "
+            f"{gate['serial_mean_seconds']:.4f}s + margin "
+            f"{gate['margin_seconds']:.4f}s -> "
+            f"{'PASS' if gate['pass'] else 'FAIL'}")
+    else:
+        lines.append(f"gate: PASS ({gate.get('reason', 'not applicable')})")
+    return "\n".join(lines)

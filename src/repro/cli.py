@@ -9,6 +9,7 @@ Examples::
     python -m repro.cli table1 --datasets mnist cifar10 --rounds 10
     python -m repro.cli sweep --datasets mnist cifar10 --methods fedavg fedlps \
         --scenarios ideal deadline-tight --backend process --workers 4
+    python -m repro.cli bench --scale 0.25 --check
 
 Every experiment command accepts ``--workers N`` and ``--backend
 {serial,thread,process}``.  ``run`` and ``compare`` parallelize the per-round
@@ -128,6 +129,29 @@ def build_parser() -> argparse.ArgumentParser:
                               help="always re-run, never read or write the cache")
     _add_common_arguments(sweep_parser)
 
+    bench_parser = sub.add_parser(
+        "bench", help="time round fan-out across executor backends and "
+                      "record the BENCH_fanout.json trajectory")
+    bench_parser.add_argument("--scale", type=float, default=1.0,
+                              help="workload scale factor (1.0 = the CI "
+                                   "smoke workload)")
+    bench_parser.add_argument("--backends", nargs="+",
+                              default=list(available_backends()),
+                              choices=available_backends())
+    bench_parser.add_argument("--workers-list", nargs="+", type=int,
+                              default=[1, 2, 4],
+                              help="worker counts to time for pool backends")
+    bench_parser.add_argument("--repeats", type=int, default=2,
+                              help="timed runs per backend/worker cell "
+                                   "(after one untimed warm-up run)")
+    bench_parser.add_argument("--output", default="BENCH_fanout.json",
+                              help="where to write the JSON report "
+                                   "('' skips writing)")
+    bench_parser.add_argument("--check", action="store_true",
+                              help="exit non-zero if the process backend is "
+                                   "slower than serial by more than the "
+                                   "recorded spawn overhead")
+
     sub.add_parser("list", help="list available methods")
     return parser
 
@@ -138,6 +162,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         for name in available_strategies():
             print(name)
+        return 0
+
+    if args.command == "bench":
+        from .benchmarking import format_bench_report, run_fanout_bench
+        report = run_fanout_bench(scale=args.scale, backends=args.backends,
+                                  worker_counts=args.workers_list,
+                                  repeats=args.repeats,
+                                  output=args.output or None)
+        print(format_bench_report(report))
+        if args.output:
+            print(f"# report written to {args.output}")
+        if args.check and not report["gate"]["pass"]:
+            return 1
         return 0
 
     if args.command == "run":

@@ -33,14 +33,18 @@ def run_method(method: str, preset: ExperimentPreset, *,
                strategy: Optional[Strategy] = None,
                strategy_kwargs: Optional[dict] = None,
                executor: Optional[Executor] = None,
-               cache: Optional[ResultCache] = None) -> TrainingHistory:
+               cache: Optional[ResultCache] = None,
+               use_broadcast: bool = True) -> TrainingHistory:
     """Run one method on one experiment preset and return its history.
 
     ``method`` is a registry name (see ``repro.baselines.available_strategies``);
     a pre-built ``strategy`` instance can be passed instead for ablation
     variants that need custom constructor arguments — such runs bypass the
     cache, whose keys only cover registry specs.  ``executor`` parallelizes
-    the per-round client work inside the trainer.
+    the per-round client work inside the trainer; ``use_broadcast=False``
+    opts out of the shared-memory round broadcast (legacy per-task payloads,
+    kept for the benchmark harness's bytes accounting — results are
+    bit-identical either way).
     """
     cacheable = cache is not None and strategy is None
     if cacheable:
@@ -51,7 +55,8 @@ def run_method(method: str, preset: ExperimentPreset, *,
     strat = strategy if strategy is not None \
         else build_strategy(method, **(strategy_kwargs or {}))
     trainer = FederatedTrainer(strat, dataset, model_builder, config=config,
-                               fleet=fleet, executor=executor)
+                               fleet=fleet, executor=executor,
+                               use_broadcast=use_broadcast)
     history = trainer.run()
     history.dataset = preset.dataset
     if cacheable:

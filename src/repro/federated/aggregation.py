@@ -29,10 +29,11 @@ def aggregate_residuals(global_params: Mapping[str, np.ndarray],
         raise ValueError("residuals and weights must have the same length")
     if not residuals:
         return copy_params(global_params)
-    reconstructed = []
-    for residual in residuals:
-        reconstructed.append({key: global_params[key] - residual[key]
-                              for key in global_params})
+    # stream the reconstructions: weighted_average consumes the generator one
+    # dictionary at a time, so only a single reconstructed snapshot is alive
+    # instead of one per client
+    reconstructed = ({key: global_params[key] - residual[key]
+                      for key in global_params} for residual in residuals)
     return weighted_average(reconstructed, weights)
 
 
@@ -55,10 +56,16 @@ def masked_average(global_params: Mapping[str, np.ndarray],
         raise ValueError("weights must match updates in length")
     numerator = zeros_like(global_params)
     denominator = zeros_like(global_params)
+    scratch = {key: np.empty_like(value) for key, value in numerator.items()}
     for update, mask, weight in zip(updates, masks, weights):
         for key in numerator:
-            numerator[key] += weight * mask[key] * update[key]
-            denominator[key] += weight * mask[key]
+            # one reusable scratch array instead of two fresh temporaries per
+            # entry; the grouping (weight * mask) * update matches the old
+            # ``weight * mask[key] * update[key]`` bit-for-bit
+            weighted_mask = np.multiply(mask[key], weight, out=scratch[key])
+            denominator[key] += weighted_mask
+            weighted_mask *= update[key]
+            numerator[key] += weighted_mask
     result: ParamDict = {}
     for key in numerator:
         covered = denominator[key] > 0

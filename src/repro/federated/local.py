@@ -19,7 +19,7 @@ import numpy as np
 from ..data.dataset import Dataset
 from ..nn import SGD, accuracy, softmax_cross_entropy
 from ..nn.model import Sequential
-from ..nn.params import ParamDict, copy_params, multiply
+from ..nn.params import ParamDict, add_, copy_params, multiply, scale_, subtract
 from ..sparsity.masks import gates_from_pattern
 
 
@@ -101,8 +101,11 @@ def train_locally(model: Sequential, start_params: Mapping[str, np.ndarray],
         grads = model.get_gradients()
         current = model.get_parameters()
         if prox_mu > 0.0 and center is not None:
-            for key in grads:
-                grads[key] = grads[key] + 2.0 * prox_mu * (current[key] - center[key])
+            # in-place: grads += (2 * mu) * (w - w_center); ``grads`` is a
+            # fresh snapshot from get_gradients(), so mutating it is safe,
+            # and the operation order matches the former per-key
+            # ``grads + 2.0 * prox_mu * (current - center)`` bit-for-bit
+            add_(grads, scale_(subtract(current, center), 2.0 * prox_mu))
             loss += prox_mu * float(
                 sum(np.sum((current[key] - center[key]) ** 2) for key in current))
         if param_mask is not None:

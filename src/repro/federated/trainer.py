@@ -10,7 +10,7 @@ import numpy as np
 
 from ..data.dataset import FederatedDataset
 from ..nn.model import Sequential
-from ..parallel import Executor
+from ..parallel import Broadcast, BroadcastHandle, Executor, materialize
 from ..scenarios.engine import RoundOutcome, ScenarioEngine
 from ..sparsity.accounting import SparseCost
 from ..systems.cost import CostBreakdown, LocalCostModel
@@ -45,6 +45,56 @@ def _evaluation_task(payload: Tuple[Strategy, Client]) -> float:
     return result["accuracy"]
 
 
+def _bind_broadcast_client(session_handle: BroadcastHandle,
+                           round_handle: BroadcastHandle, client_id: int,
+                           state: Dict) -> Tuple[Strategy, Client]:
+    """Rebuild a dispatch-ready strategy + client from broadcast handles.
+
+    The session broadcast carries the run invariants (model architecture,
+    dataset shards, fleet, config, cost model); the round broadcast carries
+    the strategy template and the global parameter blocks.  Both are cached
+    per worker by :func:`repro.parallel.materialize`, so only ``(client_id,
+    state)`` actually crosses the worker boundary per task.  Reusing the
+    materialized template across a worker's sequential tasks mirrors the
+    serial reference, where one strategy/model instance serves every client
+    of the round in turn.
+    """
+    _, session = materialize(session_handle)
+    model, dataset, fleet, config, cost_model = session
+    global_params, (template, rng) = materialize(round_handle)
+    client = Client(client_id, dataset.client(client_id), fleet[client_id],
+                    state=state)
+    strategy = copy.copy(template)
+    strategy.global_params = global_params
+    strategy.context = StrategyContext(
+        model=model, clients={client_id: client}, dataset=dataset,
+        fleet=fleet, config=config, cost_model=cost_model, rng=rng)
+    return strategy, client
+
+
+def _broadcast_local_update_task(
+        payload: Tuple[BroadcastHandle, BroadcastHandle, int, int, Dict]
+        ) -> Tuple[ClientUpdate, Dict]:
+    """Broadcast-era variant of :func:`_local_update_task`."""
+    session_handle, round_handle, round_index, client_id, state = payload
+    strategy, client = _bind_broadcast_client(session_handle, round_handle,
+                                              client_id, state)
+    update = strategy.local_update(round_index, client)
+    return update, client.state
+
+
+def _broadcast_evaluation_task(
+        payload: Tuple[BroadcastHandle, BroadcastHandle, int, Dict]) -> float:
+    """Broadcast-era variant of :func:`_evaluation_task`."""
+    session_handle, round_handle, client_id, state = payload
+    strategy, client = _bind_broadcast_client(session_handle, round_handle,
+                                              client_id, state)
+    params, pattern = strategy.client_evaluation(client)
+    result = evaluate_params(strategy.context.model, params, client.test_data,
+                             pattern=pattern)
+    return result["accuracy"]
+
+
 class FederatedTrainer:
     """Runs a federated simulation for one strategy on one federated dataset.
 
@@ -62,6 +112,16 @@ class FederatedTrainer:
     the "server", i.e. the calling thread).  All per-client randomness is
     derived from ``config.seed``, making histories bit-identical across
     backends.
+
+    With a pool backend (``use_broadcast=True``, the default) the trainer
+    ships the round-invariant payload through the shared-memory broadcast
+    (:mod:`repro.parallel.broadcast`): the run invariants (model, dataset,
+    fleet, config, cost model) are published once per run, the strategy
+    template and global parameter blocks once per round, and each task only
+    carries ``(client_id, client.state)`` plus two small handles.
+    ``use_broadcast=False`` restores the legacy per-task payloads (every
+    task carries its own pickled strategy copy) — the benchmark harness uses
+    it to measure the bytes saved.
     """
 
     def __init__(self, strategy: Strategy, dataset: FederatedDataset,
@@ -69,11 +129,14 @@ class FederatedTrainer:
                  config: Optional[FederatedConfig] = None,
                  fleet: Optional[DeviceFleet] = None,
                  cost_model: Optional[LocalCostModel] = None,
-                 executor: Optional[Executor] = None) -> None:
+                 executor: Optional[Executor] = None,
+                 use_broadcast: bool = True) -> None:
         self.strategy = strategy
         self.dataset = dataset
         self.config = config or FederatedConfig()
         self.executor = executor
+        self.use_broadcast = use_broadcast
+        self._session_broadcast: Optional[Broadcast] = None
         self.fleet = fleet or sample_device_fleet(dataset.num_clients,
                                                   seed=self.config.seed)
         if len(self.fleet) != dataset.num_clients:
@@ -98,6 +161,12 @@ class FederatedTrainer:
     # ------------------------------------------------------------------ run
     def run(self) -> TrainingHistory:
         """Execute ``config.num_rounds`` rounds and return the history."""
+        try:
+            return self._run()
+        finally:
+            self.close()
+
+    def _run(self) -> TrainingHistory:
         history = TrainingHistory(method=self.strategy.name,
                                   dataset=self.dataset.name)
         self.strategy.setup(self.context)
@@ -201,6 +270,47 @@ class FederatedTrainer:
             for client_id, cost in costs.items()}
         return self.scenario.resolve(round_index, latencies)
 
+    # ------------------------------------------------------------ broadcast
+    def _broadcast_enabled(self) -> bool:
+        """Whether fan-out should go through the shared-memory broadcast."""
+        return (self.use_broadcast and self.executor is not None
+                and self.executor.supports_broadcast)
+
+    def _session_handle(self) -> BroadcastHandle:
+        """Publish the run invariants once per trainer (lazily).
+
+        The model's parameter *values* at publication time are irrelevant:
+        every task installs the parameters it needs (``train_locally`` /
+        ``evaluate_params`` both call ``set_parameters`` first), so only the
+        architecture matters — exactly as with the serial reference, where
+        one model instance is scratch space for every client in turn.
+        """
+        if self._session_broadcast is None:
+            self._session_broadcast = Broadcast(
+                (self.model, self.dataset, self.fleet, self.config,
+                 self.cost_model))
+        return self._session_broadcast.handle
+
+    def _round_broadcast(self, round_index: int) -> Broadcast:
+        """Publish the round-invariant payload: strategy template + params.
+
+        The template is the strategy with its big, round-invariant pieces
+        stripped: ``global_params`` travels as raw shared-memory blocks and
+        ``context`` is rebuilt worker-side from the session broadcast.
+        """
+        template = copy.copy(self.strategy)
+        template.context = None
+        template.global_params = None
+        return Broadcast((template, self.context.rng),
+                         params=self.strategy.global_params,
+                         round_index=round_index)
+
+    def close(self) -> None:
+        """Release broadcast resources (recreated lazily if needed again)."""
+        if self._session_broadcast is not None:
+            self._session_broadcast.close()
+            self._session_broadcast = None
+
     # ------------------------------------------------------------- dispatch
     def _dispatch_strategy(self, client: Client) -> Strategy:
         """A shallow strategy copy whose context carries only ``client``.
@@ -227,11 +337,19 @@ class FederatedTrainer:
         if self.executor is None or not selected:
             return [self.strategy.local_update(round_index, self.clients[cid])
                     for cid in selected]
-        payloads = [(self._dispatch_strategy(self.clients[cid]), round_index,
-                     self.clients[cid]) for cid in selected]
+        if self._broadcast_enabled():
+            session = self._session_handle()
+            with self._round_broadcast(round_index) as broadcast:
+                payloads = [(session, broadcast.handle, round_index, cid,
+                             self.clients[cid].state) for cid in selected]
+                results = self.executor.map_ordered(
+                    _broadcast_local_update_task, payloads)
+        else:
+            legacy = [(self._dispatch_strategy(self.clients[cid]), round_index,
+                       self.clients[cid]) for cid in selected]
+            results = self.executor.map_ordered(_local_update_task, legacy)
         updates: List[ClientUpdate] = []
-        for update, state in self.executor.map_ordered(_local_update_task,
-                                                       payloads):
+        for update, state in results:
             self.clients[update.client_id].state = state
             updates.append(update)
         return updates
@@ -247,6 +365,15 @@ class FederatedTrainer:
                 result = evaluate_params(self.model, params, client.test_data,
                                          pattern=pattern)
                 accuracies.append(result["accuracy"])
+        elif self._broadcast_enabled():
+            session = self._session_handle()
+            # a fresh broadcast (not the round's): aggregation has moved the
+            # global parameters since the local-update fan-out
+            with self._round_broadcast(-1) as broadcast:
+                payloads = [(session, broadcast.handle, client.client_id,
+                             client.state) for client in clients]
+                accuracies = self.executor.map_ordered(
+                    _broadcast_evaluation_task, payloads)
         else:
             payloads = [(self._dispatch_strategy(client), client)
                         for client in clients]
@@ -259,9 +386,10 @@ def run_federated(strategy: Strategy, dataset: FederatedDataset,
                   config: Optional[FederatedConfig] = None,
                   fleet: Optional[DeviceFleet] = None,
                   cost_model: Optional[LocalCostModel] = None,
-                  executor: Optional[Executor] = None) -> TrainingHistory:
+                  executor: Optional[Executor] = None,
+                  use_broadcast: bool = True) -> TrainingHistory:
     """Convenience wrapper: build a trainer and run it."""
     trainer = FederatedTrainer(strategy, dataset, model_builder, config=config,
                                fleet=fleet, cost_model=cost_model,
-                               executor=executor)
+                               executor=executor, use_broadcast=use_broadcast)
     return trainer.run()

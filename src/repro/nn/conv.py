@@ -79,6 +79,35 @@ class Conv2d(Layer):
         self._x_shape: Tuple[int, int, int, int] | None = None
         self._out_hw: Tuple[int, int] | None = None
         self._pre_gate: Array | None = None
+        self._w_mat: Array | None = None
+        self._w_mat_base: Array | None = None
+
+    def _weight_matrix(self) -> Array:
+        """``W`` reshaped to ``(out_channels, fan_in)``, cached per array.
+
+        ``set_parameters`` replaces the ``W`` array object, so identity of
+        the base array is a sound cache key; in-place optimizer updates keep
+        the identity (and the cached view sees them for free).  The cache is
+        only kept when the reshape is a true view — a copy would silently
+        detach from subsequent in-place updates.
+        """
+        weights = self.params["W"]
+        if self._w_mat_base is not weights:
+            w_mat = weights.reshape(self.out_channels, -1)
+            if w_mat.base is not weights:
+                return w_mat
+            self._w_mat = w_mat
+            self._w_mat_base = weights
+        return self._w_mat
+
+    def __getstate__(self):
+        # drop forward scratch and the reshape cache: they are recomputed on
+        # first use and would otherwise bloat worker payloads (the cached
+        # view pickles as a full copy of W)
+        state = self.__dict__.copy()
+        for key in ("_cols", "_pre_gate", "_w_mat", "_w_mat_base"):
+            state[key] = None
+        return state
 
     def forward(self, x: Array, *, train: bool = True) -> Array:
         x = as_float(x)
@@ -87,7 +116,7 @@ class Conv2d(Layer):
                 f"{self.name}: expected input (N, {self.in_channels}, H, W), got {x.shape}")
         n = x.shape[0]
         cols, out_h, out_w = _im2col(x, self.kernel_size, self.stride, self.padding)
-        w_mat = self.params["W"].reshape(self.out_channels, -1)
+        w_mat = self._weight_matrix()
         out = cols @ w_mat.T + self.params["b"]
         out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
         self._cols = cols
@@ -104,7 +133,7 @@ class Conv2d(Layer):
         out_h, out_w = self._out_hw
         grad_mat = grad_pre.transpose(0, 2, 3, 1).reshape(n * out_h * out_w,
                                                           self.out_channels)
-        w_mat = self.params["W"].reshape(self.out_channels, -1)
+        w_mat = self._weight_matrix()
         self.grads["W"] += (grad_mat.T @ self._cols).reshape(self.params["W"].shape)
         self.grads["b"] += np.sum(grad_mat, axis=0)
         grad_cols = grad_mat @ w_mat

@@ -43,6 +43,27 @@ def scale(params: Mapping[str, np.ndarray], factor: float) -> ParamDict:
     return {key: value * factor for key, value in params.items()}
 
 
+def add_(left: ParamDict, right: Mapping[str, np.ndarray]) -> ParamDict:
+    """In-place element-wise sum: ``left += right``, returning ``left``.
+
+    The in-place variants serve hot paths where the caller owns the left
+    operand and the copying helpers above would allocate a fresh dictionary
+    per call — e.g. the per-step proximal gradient in
+    ``federated.local.train_locally``.
+    """
+    _check_same_keys(left, right)
+    for key, value in left.items():
+        value += right[key]
+    return left
+
+
+def scale_(params: ParamDict, factor: float) -> ParamDict:
+    """In-place scaling: every entry ``*= factor``, returning ``params``."""
+    for value in params.values():
+        value *= factor
+    return params
+
+
 def multiply(left: Mapping[str, np.ndarray], right: Mapping[str, np.ndarray]) -> ParamDict:
     """Element-wise (Hadamard) product, e.g. ``omega * mask``."""
     _check_same_keys(left, right)
@@ -51,21 +72,38 @@ def multiply(left: Mapping[str, np.ndarray], right: Mapping[str, np.ndarray]) ->
 
 def weighted_average(param_dicts: Iterable[Mapping[str, np.ndarray]],
                      weights: Iterable[float]) -> ParamDict:
-    """Weighted average of parameter dictionaries (weights are normalized)."""
-    param_list = list(param_dicts)
+    """Weighted average of parameter dictionaries (weights are normalized).
+
+    Single-pass and allocation-light: ``param_dicts`` may be a generator (it
+    is consumed exactly once) and the accumulation reuses one preallocated
+    scratch array per parameter instead of materializing a scaled temporary
+    per client.  Results are bit-identical to the naive
+    ``sum(params * w / total)`` formulation — each contribution is still
+    computed as ``params[key] * (weight / total)`` and added in input order.
+    """
     weight_list = [float(w) for w in weights]
-    if not param_list:
-        raise ValueError("cannot average an empty collection of parameters")
-    if len(param_list) != len(weight_list):
-        raise ValueError("parameter dictionaries and weights must have equal length")
     total = sum(weight_list)
-    if total <= 0:
-        raise ValueError("weights must sum to a positive value")
-    result = zeros_like(param_list[0])
-    for params, weight in zip(param_list, weight_list):
+    result: ParamDict = {}
+    scratch: ParamDict = {}
+    count = 0
+    for params in param_dicts:
+        count += 1
+        if count > len(weight_list):
+            raise ValueError("parameter dictionaries and weights must have equal length")
+        if count == 1:
+            if total <= 0:
+                raise ValueError("weights must sum to a positive value")
+            result = zeros_like(params)
+            scratch = {key: np.empty_like(value) for key, value in result.items()}
         _check_same_keys(result, params)
-        for key in result:
-            result[key] += params[key] * (weight / total)
+        factor = weight_list[count - 1] / total
+        for key, accumulator in result.items():
+            np.multiply(params[key], factor, out=scratch[key])
+            accumulator += scratch[key]
+    if count == 0:
+        raise ValueError("cannot average an empty collection of parameters")
+    if count != len(weight_list):
+        raise ValueError("parameter dictionaries and weights must have equal length")
     return result
 
 

@@ -1,5 +1,7 @@
 """Pluggable parallel execution backends (serial / thread / process)."""
 
+from .broadcast import (Broadcast, BroadcastHandle, broadcast_stats,
+                        materialize, reset_broadcast_stats)
 from .executors import (EXECUTOR_BACKENDS, Executor, ProcessPoolExecutor,
                         SerialExecutor, ThreadPoolExecutor, available_backends,
                         clone_via_pickle, default_worker_count,
@@ -15,4 +17,9 @@ __all__ = [
     "resolve_executor",
     "clone_via_pickle",
     "default_worker_count",
+    "Broadcast",
+    "BroadcastHandle",
+    "materialize",
+    "broadcast_stats",
+    "reset_broadcast_stats",
 ]

@@ -12,12 +12,27 @@ API so that backends can be swapped with a CLI flag:
 * :class:`ProcessPoolExecutor` runs tasks in spawned worker processes, which
   isolates payloads through pickling by construction.
 
+Pools are **persistent**: the underlying thread/process pool is created once
+per executor and reused by every ``map_ordered``/``map_unordered`` call, so a
+trainer pays worker start-up once per run, not once per round.  ``close()``
+(or exiting the ``with`` block) shuts the pool down exactly once; a closed
+executor raises :class:`RuntimeError` on reuse instead of silently creating
+a new pool.
+
 Task functions must be module-level callables (picklable under the spawn
 start method) and must return everything the caller needs: with the thread
 and process backends, in-place mutations of the payload are invisible to the
 caller.  Combined with deterministic per-task seeding (``default_rng(seed +
 client_id)`` style), results are bit-identical across all three backends —
 the determinism test suite enforces this.
+
+Backends with ``supports_broadcast`` set participate in the shared-memory
+round broadcast (:mod:`repro.parallel.broadcast`): callers ship the
+round-invariant payload once and hand tasks a small handle instead of a full
+pickled copy.  ``payload_witness`` is an observation hook for tests and the
+benchmark harness: when set, it is called with every task payload at
+submission time, which is how the per-round "bytes crossing the worker
+boundary" counters are measured without touching the pool internals.
 """
 
 from __future__ import annotations
@@ -26,7 +41,8 @@ import concurrent.futures
 import multiprocessing
 import os
 import pickle
-from typing import Any, Callable, Dict, List, Sequence, Tuple, Type
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 
 def clone_via_pickle(obj: Any) -> Any:
@@ -49,9 +65,15 @@ class Executor:
     """
 
     backend = "base"
+    #: whether the backend benefits from the shared-memory round broadcast;
+    #: the serial backend runs tasks inline on the real objects, so handing
+    #: it handles would only add (de)serialization work
+    supports_broadcast = False
 
     def __init__(self, workers: int = 1) -> None:
         self.workers = default_worker_count() if workers <= 0 else int(workers)
+        self.payload_witness: Optional[Callable[[Any], None]] = None
+        self._closed = False
 
     # ----------------------------------------------------------------- api
     def map_ordered(self, fn: Callable[[Any], Any],
@@ -62,8 +84,28 @@ class Executor:
                       items: Sequence[Any]) -> List[Tuple[int, Any]]:
         raise NotImplementedError
 
+    def warm_up(self) -> None:
+        """Eagerly start the pool's workers (no-op for inline backends)."""
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
         """Release pool resources; the executor must not be reused after."""
+        self._closed = True
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                f"{type(self).__name__} is closed; pools are persistent "
+                "across rounds but cannot be reused after close() — create "
+                "a new executor instead")
+
+    def _observe(self, items: Sequence[Any]) -> None:
+        if self.payload_witness is not None:
+            for item in items:
+                self.payload_witness(item)
 
     def __enter__(self) -> "Executor":
         return self
@@ -73,7 +115,8 @@ class Executor:
         return False
 
     def __repr__(self) -> str:
-        return f"{type(self).__name__}(workers={self.workers})"
+        state = ", closed" if self._closed else ""
+        return f"{type(self).__name__}(workers={self.workers}{state})"
 
 
 class SerialExecutor(Executor):
@@ -85,10 +128,21 @@ class SerialExecutor(Executor):
         super().__init__(1)
 
     def map_ordered(self, fn, items):
+        self._ensure_open()
+        items = list(items)
+        self._observe(items)
         return [fn(item) for item in items]
 
     def map_unordered(self, fn, items):
+        self._ensure_open()
+        items = list(items)
+        self._observe(items)
         return [(index, fn(item)) for index, item in enumerate(items)]
+
+
+def _warm_up_task(seconds: float) -> None:
+    """Busy-wait used by ``warm_up`` to force the pool to start workers."""
+    time.sleep(seconds)
 
 
 class _PoolExecutor(Executor):
@@ -102,17 +156,21 @@ class _PoolExecutor(Executor):
         return fn
 
     def map_ordered(self, fn, items):
+        self._ensure_open()
         items = list(items)
         if not items:
             return []
+        self._observe(items)
         task = self._prepare(fn)
         futures = [self._pool().submit(task, item) for item in items]
         return [future.result() for future in futures]
 
     def map_unordered(self, fn, items):
+        self._ensure_open()
         items = list(items)
         if not items:
             return []
+        self._observe(items)
         task = self._prepare(fn)
         indexed = {self._pool().submit(task, item): index
                    for index, item in enumerate(items)}
@@ -120,6 +178,22 @@ class _PoolExecutor(Executor):
         for future in concurrent.futures.as_completed(indexed):
             results.append((indexed[future], future.result()))
         return results
+
+    def warm_up(self):
+        # concurrent.futures pools start workers lazily on submission; a
+        # batch of short sleeps (one per worker, long enough to overlap)
+        # forces the full complement to start now so the first real round
+        # does not pay the start-up cost
+        self._ensure_open()
+        futures = [self._pool().submit(_warm_up_task, 0.02)
+                   for _ in range(self.workers)]
+        for future in futures:
+            future.result()
+
+    def close(self):
+        if not self._closed:
+            super().close()
+            self._executor.shutdown(wait=True)
 
 
 def _run_on_clone(fn: Callable[[Any], Any], item: Any) -> Any:
@@ -137,6 +211,7 @@ class ThreadPoolExecutor(_PoolExecutor):
     """
 
     backend = "thread"
+    supports_broadcast = True
 
     def __init__(self, workers: int = 1) -> None:
         super().__init__(workers)
@@ -151,9 +226,6 @@ class ThreadPoolExecutor(_PoolExecutor):
             return _run_on_clone(_fn, item)
         return task
 
-    def close(self):
-        self._executor.shutdown(wait=True)
-
 
 class ProcessPoolExecutor(_PoolExecutor):
     """Process-pool backend using the spawn start method.
@@ -166,6 +238,7 @@ class ProcessPoolExecutor(_PoolExecutor):
     """
 
     backend = "process"
+    supports_broadcast = True
 
     def __init__(self, workers: int = 1, *, start_method: str = "spawn") -> None:
         super().__init__(workers)
@@ -176,9 +249,6 @@ class ProcessPoolExecutor(_PoolExecutor):
 
     def _pool(self):
         return self._executor
-
-    def close(self):
-        self._executor.shutdown(wait=True)
 
 
 EXECUTOR_BACKENDS: Dict[str, Type[Executor]] = {

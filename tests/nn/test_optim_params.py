@@ -125,3 +125,66 @@ class TestParamHelpers:
     def test_zeros_like(self):
         zeros = P.zeros_like(self.a)
         assert all(np.all(v == 0) for v in zeros.values())
+
+    def test_add_inplace_mutates_left(self):
+        left = P.copy_params(self.a)
+        out = P.add_(left, self.b)
+        assert out is left
+        np.testing.assert_array_equal(left["x"], P.add(self.a, self.b)["x"])
+
+    def test_scale_inplace_mutates(self):
+        params = P.copy_params(self.a)
+        out = P.scale_(params, 2.0)
+        assert out is params
+        np.testing.assert_array_equal(params["x"], [2.0, 4.0])
+
+
+def _legacy_weighted_average(param_dicts, weights):
+    """The pre-optimization implementation, kept verbatim as the oracle."""
+    param_list = list(param_dicts)
+    weight_list = [float(w) for w in weights]
+    total = sum(weight_list)
+    result = P.zeros_like(param_list[0])
+    for params, weight in zip(param_list, weight_list):
+        for key in result:
+            result[key] += params[key] * (weight / total)
+    return result
+
+
+class TestWeightedAverageBitIdentity:
+    """The in-place single-pass rewrite must keep every float64 bit."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("count", [1, 3, 7])
+    def test_matches_legacy_bitwise(self, seed, count):
+        rng = np.random.default_rng(seed)
+        dicts = [{
+            "w": rng.standard_normal((13, 7)) * 10.0 ** rng.integers(-6, 6),
+            "b": rng.standard_normal(5),
+            "scalar": rng.standard_normal(()),
+        } for _ in range(count)]
+        weights = rng.uniform(0.01, 100.0, size=count)
+        expected = _legacy_weighted_average(dicts, weights)
+        got = P.weighted_average(dicts, weights)
+        for key in expected:
+            # bit-for-bit, not allclose: the golden-history fixtures depend
+            # on aggregation being exactly reproducible
+            np.testing.assert_array_equal(got[key], expected[key])
+
+    def test_accepts_a_generator_single_pass(self):
+        dicts = [{"w": np.full(3, float(i))} for i in range(4)]
+        weights = [1.0, 2.0, 3.0, 4.0]
+        expected = _legacy_weighted_average(dicts, weights)
+        got = P.weighted_average(iter(dicts), weights)
+        np.testing.assert_array_equal(got["w"], expected["w"])
+
+    def test_length_mismatch_detected_when_streaming(self):
+        dicts = ({"w": np.ones(2)} for _ in range(3))
+        with pytest.raises(ValueError, match="equal length"):
+            P.weighted_average(dicts, [1.0, 1.0])
+
+    def test_does_not_mutate_inputs(self):
+        dicts = [{"w": np.ones(4)}, {"w": np.full(4, 2.0)}]
+        P.weighted_average(dicts, [1.0, 3.0])
+        np.testing.assert_array_equal(dicts[0]["w"], np.ones(4))
+        np.testing.assert_array_equal(dicts[1]["w"], np.full(4, 2.0))

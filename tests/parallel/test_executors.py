@@ -137,3 +137,58 @@ class TestProcessPoolExecutor:
         payload = {"count": 0}
         assert pool.map_ordered(_bump, [payload]) == [1]
         assert payload["count"] == 0
+
+    def test_pool_is_persistent_across_maps(self, pool):
+        # the same pool serves many map calls (one per round in the trainer)
+        # without re-spawning; warm_up is allowed at any point
+        pool.warm_up()
+        for _ in range(3):
+            assert pool.map_ordered(_square, [2]) == [4]
+
+
+class TestLifecycle:
+    """close() semantics: exactly once, deterministic, loud on reuse."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_closed_executor_raises_on_reuse(self, backend):
+        executor = resolve_executor(backend, 2)
+        executor.close()
+        assert executor.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.map_ordered(_square, [1])
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.map_unordered(_square, [1])
+
+    def test_closed_process_executor_raises_on_reuse(self):
+        executor = ProcessPoolExecutor(1)
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.map_ordered(_square, [1])
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_close_is_idempotent(self, backend):
+        executor = resolve_executor(backend, 1)
+        executor.close()
+        executor.close()  # second close must not raise
+        assert executor.closed
+
+    def test_context_manager_closes_even_on_task_exception(self):
+        with pytest.raises(ValueError, match="three"):
+            with ThreadPoolExecutor(2) as executor:
+                executor.map_ordered(_fail_on_three, [1, 3])
+        assert executor.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.map_ordered(_square, [1])
+
+
+class TestPayloadWitness:
+    """The observation hook behind the bytes-per-round accounting."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_witness_sees_every_payload(self, backend):
+        seen = []
+        with resolve_executor(backend, 2) as executor:
+            executor.payload_witness = seen.append
+            executor.map_ordered(_square, [1, 2, 3])
+            executor.map_unordered(_square, [4])
+        assert sorted(seen) == [1, 2, 3, 4]

@@ -38,6 +38,18 @@ class TestParser:
         assert args.methods == ["fedavg", "fedlps"]
         assert not args.no_cache
 
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.scale == 1.0
+        assert args.backends == ["process", "serial", "thread"]
+        assert args.workers_list == [1, 2, 4]
+        assert args.output == "BENCH_fanout.json"
+        assert not args.check
+
+    def test_bench_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--backends", "gpu"])
+
 
 class TestCommands:
     def test_list_prints_methods(self, capsys):
@@ -102,3 +114,12 @@ class TestCommands:
         assert "fedavg" in out
         assert "cache:" not in out
         assert not (tmp_path / "unused").exists()
+
+    def test_bench_writes_artifact(self, capsys, tmp_path):
+        artifact = tmp_path / "BENCH_fanout.json"
+        assert main(["bench", "--scale", "0.25", "--backends", "serial",
+                     "thread", "--workers-list", "2", "--repeats", "1",
+                     "--output", str(artifact), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "reduction" in out and "thread-2" in out
+        assert artifact.exists()
