@@ -1,12 +1,14 @@
 """Performance benchmarking harness (``repro bench``)."""
 
 from .fanout import (BENCH_METHOD, fanout_preset, format_bench_report,
-                     measure_fanout_bytes, run_fanout_bench)
+                     measure_aggregation_modes, measure_fanout_bytes,
+                     run_fanout_bench)
 
 __all__ = [
     "BENCH_METHOD",
     "fanout_preset",
     "format_bench_report",
+    "measure_aggregation_modes",
     "measure_fanout_bytes",
     "run_fanout_bench",
 ]

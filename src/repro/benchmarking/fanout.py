@@ -70,6 +70,48 @@ def _timed_run(preset, executor=None, *, use_broadcast: bool = True) -> float:
     return time.perf_counter() - start
 
 
+def measure_aggregation_modes(preset,
+                              aggregations: Iterable[str] = ("sync",
+                                                             "fedasync",
+                                                             "fedbuff"),
+                              *, tta_fraction: float = 0.5
+                              ) -> Dict[str, object]:
+    """Wall-clock + sim-time-to-accuracy of each server aggregation mode.
+
+    Every mode runs the same workload under the ``flaky`` scenario (Bernoulli
+    availability on a heterogeneous fleet — the setting where asynchronous
+    aggregation's sim-time advantage shows).  The time-to-accuracy target is
+    shared across modes: ``tta_fraction`` of the *synchronous* run's best
+    accuracy, so the async cells answer "how much sooner does the async
+    server reach what sync eventually reaches".
+    """
+    flaky = scaled(preset, scenario="flaky")
+    modes: Dict[str, Dict[str, object]] = {}
+    histories = {}
+    for aggregation in ["sync"] + [a for a in aggregations if a != "sync"]:
+        agg_preset = scaled(flaky, aggregation=aggregation)
+        start = time.perf_counter()
+        histories[aggregation] = run_method(BENCH_METHOD, agg_preset)
+        wall = time.perf_counter() - start
+        modes[aggregation] = {"wall_seconds": wall}
+    target = tta_fraction * histories["sync"].best_accuracy()
+    for aggregation, history in histories.items():
+        modes[aggregation].update({
+            "sim_time_seconds": history.total_sim_time,
+            "final_accuracy": history.final_accuracy(),
+            "best_accuracy": history.best_accuracy(),
+            "sim_time_to_accuracy_seconds":
+                history.sim_time_to_accuracy(target),
+            "mean_staleness": history.mean_staleness,
+        })
+    return {
+        "scenario": "flaky",
+        "target_accuracy": target,
+        "tta_fraction": tta_fraction,
+        "modes": {name: modes[name] for name in aggregations},
+    }
+
+
 def measure_fanout_bytes(preset) -> Dict[str, float]:
     """Serialized bytes per round: legacy per-task payloads vs broadcast.
 
@@ -79,8 +121,19 @@ def measure_fanout_bytes(preset) -> Dict[str, float]:
     broadcast pass additionally reads the server-side broadcast counters:
     the pickled-once template blob and the raw (never pickled) parameter
     blocks in shared memory.
+
+    The session broadcast's dataset blocks are a **once-per-run** payload;
+    they are reported separately (``session_raw_bytes``) and excluded from
+    ``shared_memory_raw_per_round`` so that cell keeps measuring per-round
+    traffic and stays comparable across scales and PRs.
     """
+    from ..experiments.presets import build_experiment
+    from ..server.core import dataset_to_blocks
+
     rounds = preset.num_rounds
+    dataset, _, _, _ = build_experiment(preset)
+    session_raw = sum(block.nbytes
+                      for block in dataset_to_blocks(dataset)[0].values())
 
     def _witnessed_run(use_broadcast: bool) -> int:
         task_bytes = 0
@@ -104,7 +157,9 @@ def measure_fanout_bytes(preset) -> Dict[str, float]:
         "legacy_pickled_per_round": legacy_bytes / rounds,
         "broadcast_pickled_per_round": broadcast_pickled / rounds,
         "broadcast_task_payloads_per_round": broadcast_task_bytes / rounds,
-        "shared_memory_raw_per_round": stats["param_bytes"] / rounds,
+        "shared_memory_raw_per_round":
+            (stats["param_bytes"] - session_raw) / rounds,
+        "session_raw_bytes": session_raw,
         "broadcast_publishes": stats["publishes"],
         "reduction_factor": (legacy_bytes / broadcast_pickled
                              if broadcast_pickled else float("inf")),
@@ -117,6 +172,8 @@ def run_fanout_bench(scale: float = 1.0,
                      backends: Iterable[str] = ("serial", "thread", "process"),
                      worker_counts: Iterable[int] = (1, 2, 4),
                      repeats: int = 2,
+                     aggregations: Iterable[str] = ("sync", "fedasync",
+                                                    "fedbuff"),
                      output: Optional[str] = None) -> Dict[str, object]:
     """Run the fan-out benchmark and return (and optionally write) the report.
 
@@ -173,6 +230,7 @@ def run_fanout_bench(scale: float = 1.0,
         "cpu_count": os.cpu_count(),
         "timings": timings,
         "bytes": measure_fanout_bytes(preset),
+        "aggregation": measure_aggregation_modes(preset, aggregations),
         "gate": _gate(timings),
     }
     if output:
@@ -236,9 +294,19 @@ def format_bench_report(report: Dict[str, object]) -> str:
     lines.append(
         f"bytes/round: legacy {traffic['legacy_pickled_per_round']:.0f} -> "
         f"broadcast {traffic['broadcast_pickled_per_round']:.0f} pickled "
-        f"(+{traffic['shared_memory_raw_per_round']:.0f} raw shared-memory), "
+        f"(+{traffic['shared_memory_raw_per_round']:.0f} raw shared-memory, "
+        f"+{traffic['session_raw_bytes']:.0f} once-per-run session blocks), "
         f"reduction {traffic['reduction_factor']:.1f}x "
         f"(clients_per_round={traffic['clients_per_round']})")
+    aggregation = report["aggregation"]
+    for name, mode in aggregation["modes"].items():
+        tta = mode["sim_time_to_accuracy_seconds"]
+        lines.append(
+            f"aggregation {name:>9s}: wall {mode['wall_seconds']:.4f}s, "
+            f"sim {mode['sim_time_seconds']:.4f}s, "
+            f"sim-to-{aggregation['target_accuracy']:.2f}-acc "
+            f"{'-' if tta is None else format(tta, '.4f')}s, "
+            f"staleness {mode['mean_staleness']:.2f}")
     gate = report["gate"]
     if "serial_mean_seconds" in gate:
         lines.append(

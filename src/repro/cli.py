@@ -20,8 +20,12 @@ disk, so rebuilding the paper's table/figure grid is incremental.
 ``--scenario`` attaches a system-heterogeneity scenario (client
 availability, stragglers, participation deadlines — see ``repro.scenarios``)
 to any experiment command; ``sweep --scenarios`` grids over several.
-Scenario decisions derive from ``(seed, round, client)``, so histories stay
-bit-identical across backends.
+``--aggregation`` picks the server's training shape (``sync`` — the paper's
+synchronous rounds; ``fedasync`` — staleness-weighted aggregation on every
+arrival; ``fedbuff`` — buffered aggregation every K arrivals); ``sweep
+--aggregations`` grids over several for sync-vs-async time-to-accuracy
+comparisons.  Scenario and aggregation decisions derive from ``(seed,
+round, client)``, so histories stay bit-identical across backends.
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ from .experiments import (DATASETS, DEFAULT_CACHE_DIR, ResultCache,
                           table1_accuracy_flops)
 from .parallel import available_backends, resolve_executor
 from .scenarios import available_scenarios
+from .server import available_aggregations
 
 #: the headline columns every experiment command prints
 SUMMARY_COLUMNS = ["accuracy", "total_flops", "total_time_seconds",
@@ -56,6 +61,8 @@ def _preset_overrides(args: argparse.Namespace) -> dict:
         overrides["seed"] = args.seed
     if getattr(args, "scenario", None) is not None:
         overrides["scenario"] = args.scenario
+    if getattr(args, "aggregation", None) is not None:
+        overrides["aggregation"] = args.aggregation
     return overrides
 
 
@@ -74,6 +81,11 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
                         choices=available_scenarios(),
                         help="system-heterogeneity scenario (availability, "
                              "stragglers, deadlines); default: ideal")
+    parser.add_argument("--aggregation", default=None,
+                        choices=available_aggregations(),
+                        help="server aggregation mode: sync (synchronous "
+                             "rounds), fedasync (staleness-weighted, every "
+                             "arrival) or fedbuff (buffered); default: sync")
     parser.add_argument("--rounds", type=int, default=None)
     parser.add_argument("--clients", type=int, default=None)
     parser.add_argument("--clients-per-round", type=int, default=None)
@@ -123,6 +135,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--scenarios", nargs="+", default=["ideal"],
                               choices=available_scenarios(),
                               help="system-heterogeneity scenarios to sweep")
+    sweep_parser.add_argument("--aggregations", nargs="+", default=["sync"],
+                              choices=available_aggregations(),
+                              help="server aggregation modes to sweep "
+                                   "(sync-vs-async time-to-accuracy grids)")
     sweep_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                               help="directory of the JSON result cache")
     sweep_parser.add_argument("--no-cache", action="store_true",
@@ -144,6 +160,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--repeats", type=int, default=2,
                               help="timed runs per backend/worker cell "
                                    "(after one untimed warm-up run)")
+    bench_parser.add_argument("--aggregations", nargs="+",
+                              default=list(available_aggregations()),
+                              choices=available_aggregations(),
+                              help="aggregation modes to profile (wall-clock "
+                                   "+ sim-time-to-accuracy under the flaky "
+                                   "scenario)")
     bench_parser.add_argument("--output", default="BENCH_fanout.json",
                               help="where to write the JSON report "
                                    "('' skips writing)")
@@ -169,6 +191,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         report = run_fanout_bench(scale=args.scale, backends=args.backends,
                                   worker_counts=args.workers_list,
                                   repeats=args.repeats,
+                                  aggregations=args.aggregations,
                                   output=args.output or None)
         print(format_bench_report(report))
         if args.output:
@@ -184,8 +207,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             history = run_method(args.method, preset, executor=executor)
         summary = summarize(history)
         print(format_rows([{"method": args.method, "dataset": dataset,
-                            "scenario": preset.scenario, **summary}],
-                          ["method", "dataset", "scenario"] + SUMMARY_COLUMNS))
+                            "scenario": preset.scenario,
+                            "aggregation": preset.aggregation, **summary}],
+                          ["method", "dataset", "scenario", "aggregation"]
+                          + SUMMARY_COLUMNS))
         return 0
 
     if args.command == "compare":
@@ -197,9 +222,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 history = run_method(method, preset, executor=executor)
                 rows.append({"method": method, "dataset": dataset,
                              "scenario": preset.scenario,
+                             "aggregation": preset.aggregation,
                              **summarize(history)})
-        print(format_rows(rows, ["method", "dataset", "scenario"]
-                          + SUMMARY_COLUMNS))
+        print(format_rows(rows, ["method", "dataset", "scenario",
+                                 "aggregation"] + SUMMARY_COLUMNS))
         return 0
 
     if args.command == "table1":
@@ -216,18 +242,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache = None if args.no_cache else ResultCache(args.cache_dir)
         overrides = _preset_overrides(args)
         overrides.pop("scenario", None)
+        overrides.pop("aggregation", None)
         scenarios = list(args.scenarios)
         if args.scenario is not None and args.scenario not in scenarios:
             scenarios.append(args.scenario)
+        aggregations = list(args.aggregations)
+        if (args.aggregation is not None
+                and args.aggregation not in aggregations):
+            aggregations.append(args.aggregation)
         with _executor_from(args) as executor:
             histories = run_scenario_sweep(args.methods, args.datasets,
-                                           scenarios, overrides=overrides,
+                                           scenarios, aggregations,
+                                           overrides=overrides,
                                            executor=executor, cache=cache)
         rows = [{"method": method, "dataset": dataset, "scenario": scenario,
-                 **summarize(history)}
-                for (method, dataset, scenario), history in histories.items()]
-        print(format_rows(rows, ["method", "dataset", "scenario"]
-                          + SUMMARY_COLUMNS))
+                 "aggregation": aggregation, **summarize(history)}
+                for (method, dataset, scenario, aggregation), history
+                in histories.items()]
+        print(format_rows(rows, ["method", "dataset", "scenario",
+                                 "aggregation"] + SUMMARY_COLUMNS))
         if cache is not None:
             print(f"# cache: {cache.hits} hit(s), {cache.misses} miss(es) "
                   f"in {cache.directory}")

@@ -25,7 +25,10 @@ from .presets import ExperimentPreset
 
 #: bump when the simulator's numerics change in a way that invalidates runs
 #: (2: scenario engine — RoundRecord gained sim_time/dropped/stragglers and
-#: presets gained the scenario field)
+#: presets gained the scenario field).  The event-driven server core (PR 4)
+#: did NOT bump: synchronous numerics are bit-identical to version 2, and
+#: presets gaining the ``aggregation`` field already changes every spec dict,
+#: so stale entries miss on the spec comparison rather than colliding.
 CACHE_VERSION = 2
 
 DEFAULT_CACHE_DIR = ".repro-cache"

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional
 
 from ..data import FederatedDataset, build_federated_dataset
-from ..federated import FederatedConfig
+from ..federated import AGGREGATIONS, FederatedConfig
 from ..models import build_model_for_dataset
 from ..nn.model import Sequential
 from ..scenarios import available_scenarios, build_scenario
@@ -46,6 +46,9 @@ class ExperimentPreset:
     #: named system-heterogeneity scenario (see ``repro.scenarios``);
     #: "ideal" reproduces the paper's every-client-finishes assumption
     scenario: str = "ideal"
+    #: server aggregation mode (see ``repro.server.scheduler``): "sync",
+    #: "fedasync" or "fedbuff" — keys the result cache like the scenario
+    aggregation: str = "sync"
     seed: int = 0
     extra_config: Dict[str, float] = field(default_factory=dict)
 
@@ -86,6 +89,10 @@ def build_experiment(preset: ExperimentPreset
         raise ValueError(
             f"unknown scenario {preset.scenario!r}; "
             f"choose from {available_scenarios()}")
+    if preset.aggregation not in AGGREGATIONS:
+        raise ValueError(
+            f"unknown aggregation mode {preset.aggregation!r}; "
+            f"choose from {AGGREGATIONS}")
     dataset = build_federated_dataset(
         preset.dataset, preset.num_clients,
         classes_per_client=preset.classes_per_client,
@@ -103,6 +110,7 @@ def build_experiment(preset: ExperimentPreset
                                 num_clients=preset.num_clients,
                                 num_rounds=preset.num_rounds,
                                 seed=preset.seed),
+        aggregation=preset.aggregation,
         extra=dict(preset.extra_config))
     fleet = sample_device_fleet(
         preset.num_clients,

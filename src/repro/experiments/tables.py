@@ -43,13 +43,16 @@ def table1_accuracy_flops(datasets: Iterable[str] = ("mnist",),
     return [{
         "method": method,
         "dataset": dataset,
+        "aggregation": spec[1].aggregation,
         "accuracy": summary["accuracy"],
         "total_flops": summary["total_flops"],
         "total_time_seconds": summary["total_time_seconds"],
         "sim_time_seconds": summary["sim_time_seconds"],
         "time_to_accuracy_seconds": summary["time_to_accuracy_seconds"],
-    } for (method, dataset), summary in
-        ((pair, summarize(history)) for pair, history in zip(grid, histories))]
+        "mean_staleness": summary["mean_staleness"],
+    } for (method, dataset), spec, summary in
+        ((pair, spec, summarize(history))
+         for pair, spec, history in zip(grid, specs, histories))]
 
 
 def table2_ablation(dataset: str = "mnist",
@@ -89,31 +92,53 @@ def scenario_table(dataset: str = "mnist",
                    methods: Iterable[str] = ("fedavg", "fedlps"),
                    scenarios: Iterable[str] = ("ideal", "flaky",
                                                "deadline-tight", "trace"),
+                   aggregations: Iterable[str] = ("sync",),
                    overrides: Optional[dict] = None, *,
                    executor: Optional[Executor] = None,
                    cache: Optional[ResultCache] = None
                    ) -> List[Dict[str, object]]:
-    """Methods × scenarios on one dataset: the system-heterogeneity grid.
+    """Methods × scenarios × aggregations on one dataset.
 
     Alongside final accuracy, the rows carry the quantities the scenario
-    engine exists to measure: simulated wall-clock (deadline waits included),
-    time-to-accuracy, and how many client slots were lost to unavailability
-    or straggler drops.
+    engine and the event-driven server core exist to measure: simulated
+    wall-clock (deadline waits included), time-to-accuracy, client slots
+    lost to unavailability or straggler drops, and the mean staleness of the
+    aggregated updates.  Passing ``aggregations=("sync", "fedasync")`` turns
+    the table into the sync-vs-async comparison: because
+    ``time_to_accuracy_seconds`` targets each run's *own* best accuracy (an
+    uneven bar between modes), the rows also carry
+    ``time_to_sync_target_seconds`` — sim-time until 90% of the **sync**
+    run's best accuracy on the same (method, scenario) cell, the
+    like-for-like number — ``None`` when the target is never reached or no
+    sync run is in the grid.
     """
     histories = run_scenario_sweep(methods, [dataset], scenarios,
-                                   overrides=overrides, executor=executor,
-                                   cache=cache)
-    return [{
-        "method": method,
-        "scenario": scenario,
-        "dataset": grid_dataset,
-        "accuracy": summary["accuracy"],
-        "sim_time_seconds": summary["sim_time_seconds"],
-        "time_to_accuracy_seconds": summary["time_to_accuracy_seconds"],
-        "dropped_clients": summary["dropped_clients"],
-        "straggler_drops": summary["straggler_drops"],
-    } for (method, grid_dataset, scenario), summary in
-        ((key, summarize(history)) for key, history in histories.items())]
+                                   aggregations, overrides=overrides,
+                                   executor=executor, cache=cache)
+    sync_targets = {
+        key[:3]: 0.9 * history.best_accuracy()
+        for key, history in histories.items() if key[3] == "sync"}
+    rows = []
+    for key, history in histories.items():
+        method, grid_dataset, scenario, aggregation = key
+        summary = summarize(history)
+        target = sync_targets.get(key[:3])
+        rows.append({
+            "method": method,
+            "scenario": scenario,
+            "aggregation": aggregation,
+            "dataset": grid_dataset,
+            "accuracy": summary["accuracy"],
+            "sim_time_seconds": summary["sim_time_seconds"],
+            "time_to_accuracy_seconds": summary["time_to_accuracy_seconds"],
+            "time_to_sync_target_seconds":
+                (history.sim_time_to_accuracy(target)
+                 if target is not None else None),
+            "dropped_clients": summary["dropped_clients"],
+            "straggler_drops": summary["straggler_drops"],
+            "mean_staleness": summary["mean_staleness"],
+        })
+    return rows
 
 
 def histories_to_rows(histories: Dict[str, TrainingHistory]

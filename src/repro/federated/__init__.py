@@ -3,7 +3,7 @@
 from .aggregation import (aggregate_residuals, fedavg, masked_average,
                           staleness_weighted_average)
 from .client import Client
-from .config import FederatedConfig
+from .config import AGGREGATIONS, FederatedConfig
 from .evaluation import average_personalized_accuracy, evaluate_params
 from .local import LocalUpdateResult, iterate_batches, train_locally
 from .strategy import ClientUpdate, Strategy, StrategyContext
@@ -12,6 +12,7 @@ from .trainer import FederatedTrainer, run_federated
 __all__ = [
     "Client",
     "FederatedConfig",
+    "AGGREGATIONS",
     "Strategy",
     "StrategyContext",
     "ClientUpdate",

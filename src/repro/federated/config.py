@@ -7,6 +7,12 @@ from typing import Optional
 
 from ..scenarios.config import ScenarioConfig
 
+#: the aggregation modes the event-driven server core understands (see
+#: ``repro.server.scheduler`` — sync is the paper's synchronous round loop,
+#: fedasync aggregates every arrival with a staleness-decayed weight,
+#: fedbuff aggregates buffered batches of ``buffer_size`` arrivals)
+AGGREGATIONS = ("sync", "fedasync", "fedbuff")
+
 
 @dataclass
 class FederatedConfig:
@@ -39,6 +45,22 @@ class FederatedConfig:
     # system-heterogeneity scenario (availability / stragglers / deadlines);
     # None runs the paper's ideal setting where every client always finishes
     scenario: Optional[ScenarioConfig] = None
+    # server aggregation mode: "sync" (the paper's synchronous round loop),
+    # "fedasync" (aggregate every arrival, staleness-weighted) or "fedbuff"
+    # (aggregate buffered batches of ``buffer_size`` arrivals)
+    aggregation: str = "sync"
+    # FedAsync mixing rate: a fresh update moves the global model by
+    # ``async_alpha``; an update ``s`` server versions stale by
+    # ``async_alpha / (1 + s) ** staleness_exponent``
+    async_alpha: float = 0.6
+    staleness_exponent: float = 0.5
+    # FedBuff buffer: aggregate every ``buffer_size`` arrivals; a partial
+    # buffer at run end is never flushed
+    buffer_size: int = 2
+    # arrivals the async server consumes before dispatching the next round;
+    # None picks the scheduler default (clients_per_round for fedasync,
+    # buffer_size for fedbuff)
+    async_arrivals_per_round: Optional[int] = None
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -54,3 +76,16 @@ class FederatedConfig:
             raise ValueError("learning_rate must be positive")
         if self.eval_every <= 0:
             raise ValueError("eval_every must be positive")
+        if self.aggregation not in AGGREGATIONS:
+            raise ValueError(
+                f"unknown aggregation mode {self.aggregation!r}; "
+                f"choose from {AGGREGATIONS}")
+        if not 0.0 < self.async_alpha <= 1.0:
+            raise ValueError("async_alpha must be in (0, 1]")
+        if self.staleness_exponent < 0:
+            raise ValueError("staleness_exponent must be non-negative")
+        if self.buffer_size <= 0:
+            raise ValueError("buffer_size must be positive")
+        if (self.async_arrivals_per_round is not None
+                and self.async_arrivals_per_round <= 0):
+            raise ValueError("async_arrivals_per_round must be positive")

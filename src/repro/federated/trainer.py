@@ -1,124 +1,61 @@
-"""The federated round loop: orchestration, cost accounting and metrics."""
+"""Facade over the event-driven server core (:mod:`repro.server`).
+
+Historically this module owned the whole synchronous round loop.  That loop
+now lives in :class:`repro.server.scheduler.SyncScheduler`, one of several
+schedulers (sync / fedasync / fedbuff) driving the
+:class:`repro.server.core.ServerCore`; the trainer remains as the stable
+public entry point that wires a strategy, dataset, executor and scenario
+into the core and exposes the attributes tests and callers have always
+used (``trainer.strategy``, ``trainer.context``, ``trainer.clients``, ...).
+
+``config.aggregation`` selects the training shape:
+
+* ``"sync"`` — the paper's synchronous round loop (select, fan out, wait
+  for everyone, aggregate).  Bit-identical to the pre-refactor trainer.
+* ``"fedasync"`` — FedAsync-style asynchronous aggregation: the server
+  consumes client completions in simulated-time order and folds every
+  arrival into the global model with the staleness-decayed weight
+  ``alpha / (1 + staleness)^a``.
+* ``"fedbuff"`` — FedBuff-style buffered aggregation: arrivals accumulate
+  and are aggregated every ``buffer_size`` completions.
+
+All three shapes share the executor fan-out (per-round client work crosses
+the worker boundary through the shared-memory broadcast transport) and the
+determinism contract: every decision is a pure function of
+``(seed, round, client)``, so histories are bit-identical across the
+serial/thread/process backends.
+"""
 
 from __future__ import annotations
 
-import copy
-from dataclasses import replace
-from typing import Callable, Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Callable, Dict, Optional
 
 from ..data.dataset import FederatedDataset
 from ..nn.model import Sequential
-from ..parallel import Broadcast, BroadcastHandle, Executor, materialize
-from ..scenarios.engine import RoundOutcome, ScenarioEngine
-from ..sparsity.accounting import SparseCost
-from ..systems.cost import CostBreakdown, LocalCostModel
-from ..systems.devices import DeviceFleet, sample_device_fleet
-from ..systems.metrics import RoundRecord, TrainingHistory
+from ..parallel import Executor
+from ..server.core import ServerCore
+from ..systems.cost import LocalCostModel
+from ..systems.devices import DeviceFleet
+from ..systems.metrics import TrainingHistory
 from .client import Client
 from .config import FederatedConfig
-from .evaluation import evaluate_params
-from .strategy import ClientUpdate, Strategy, StrategyContext
-
-
-def _local_update_task(payload: Tuple[Strategy, int, Client]
-                       ) -> Tuple[ClientUpdate, Dict]:
-    """Run one client's local update; executed on a worker.
-
-    Strategies persist per-client information in ``client.state``, so the
-    (possibly mutated) state dictionary is shipped back alongside the update
-    — with the thread/process backends the caller never sees in-place
-    mutations.
-    """
-    strategy, round_index, client = payload
-    update = strategy.local_update(round_index, client)
-    return update, client.state
-
-
-def _evaluation_task(payload: Tuple[Strategy, Client]) -> float:
-    """Evaluate one client's personalized model; executed on a worker."""
-    strategy, client = payload
-    params, pattern = strategy.client_evaluation(client)
-    result = evaluate_params(strategy.context.model, params, client.test_data,
-                             pattern=pattern)
-    return result["accuracy"]
-
-
-def _bind_broadcast_client(session_handle: BroadcastHandle,
-                           round_handle: BroadcastHandle, client_id: int,
-                           state: Dict) -> Tuple[Strategy, Client]:
-    """Rebuild a dispatch-ready strategy + client from broadcast handles.
-
-    The session broadcast carries the run invariants (model architecture,
-    dataset shards, fleet, config, cost model); the round broadcast carries
-    the strategy template and the global parameter blocks.  Both are cached
-    per worker by :func:`repro.parallel.materialize`, so only ``(client_id,
-    state)`` actually crosses the worker boundary per task.  Reusing the
-    materialized template across a worker's sequential tasks mirrors the
-    serial reference, where one strategy/model instance serves every client
-    of the round in turn.
-    """
-    _, session = materialize(session_handle)
-    model, dataset, fleet, config, cost_model = session
-    global_params, (template, rng) = materialize(round_handle)
-    client = Client(client_id, dataset.client(client_id), fleet[client_id],
-                    state=state)
-    strategy = copy.copy(template)
-    strategy.global_params = global_params
-    strategy.context = StrategyContext(
-        model=model, clients={client_id: client}, dataset=dataset,
-        fleet=fleet, config=config, cost_model=cost_model, rng=rng)
-    return strategy, client
-
-
-def _broadcast_local_update_task(
-        payload: Tuple[BroadcastHandle, BroadcastHandle, int, int, Dict]
-        ) -> Tuple[ClientUpdate, Dict]:
-    """Broadcast-era variant of :func:`_local_update_task`."""
-    session_handle, round_handle, round_index, client_id, state = payload
-    strategy, client = _bind_broadcast_client(session_handle, round_handle,
-                                              client_id, state)
-    update = strategy.local_update(round_index, client)
-    return update, client.state
-
-
-def _broadcast_evaluation_task(
-        payload: Tuple[BroadcastHandle, BroadcastHandle, int, Dict]) -> float:
-    """Broadcast-era variant of :func:`_evaluation_task`."""
-    session_handle, round_handle, client_id, state = payload
-    strategy, client = _bind_broadcast_client(session_handle, round_handle,
-                                              client_id, state)
-    params, pattern = strategy.client_evaluation(client)
-    result = evaluate_params(strategy.context.model, params, client.test_data,
-                             pattern=pattern)
-    return result["accuracy"]
+from .strategy import Strategy, StrategyContext
 
 
 class FederatedTrainer:
     """Runs a federated simulation for one strategy on one federated dataset.
 
-    The trainer is strategy-agnostic: it asks the strategy for client
-    selections, local updates and aggregation, translates the reported
-    computation/communication footprints into simulated wall-clock time
-    through the cost model, and evaluates the personalized models on every
-    client's local test shard.
+    The trainer is a thin facade: construction builds a
+    :class:`~repro.server.core.ServerCore` (model, clients, fleet, cost
+    model, scenario engine, broadcast transport) and :meth:`run` hands it to
+    the scheduler selected by ``config.aggregation``.  See the module
+    docstring for the available training shapes.
 
-    When an :class:`~repro.parallel.Executor` is supplied, the per-round
-    ``local_update`` calls and the per-client evaluation fan out across its
-    workers: each client's update only depends on the broadcast global
-    parameters and its own ``client.state``, so rounds parallelize without
-    changing results (selection, aggregation and bandit bookkeeping stay on
-    the "server", i.e. the calling thread).  All per-client randomness is
-    derived from ``config.seed``, making histories bit-identical across
-    backends.
-
-    With a pool backend (``use_broadcast=True``, the default) the trainer
-    ships the round-invariant payload through the shared-memory broadcast
-    (:mod:`repro.parallel.broadcast`): the run invariants (model, dataset,
-    fleet, config, cost model) are published once per run, the strategy
-    template and global parameter blocks once per round, and each task only
-    carries ``(client_id, client.state)`` plus two small handles.
+    When an :class:`~repro.parallel.Executor` is supplied, per-round local
+    updates and evaluation fan out across its workers; with a pool backend
+    (``use_broadcast=True``, the default) the round-invariant payload ships
+    through the shared-memory broadcast and each task only carries
+    ``(client_id, client.state)`` plus two small handles.
     ``use_broadcast=False`` restores the legacy per-task payloads (every
     task carries its own pickled strategy copy) — the benchmark harness uses
     it to measure the bytes saved.
@@ -131,254 +68,68 @@ class FederatedTrainer:
                  cost_model: Optional[LocalCostModel] = None,
                  executor: Optional[Executor] = None,
                  use_broadcast: bool = True) -> None:
-        self.strategy = strategy
-        self.dataset = dataset
-        self.config = config or FederatedConfig()
-        self.executor = executor
-        self.use_broadcast = use_broadcast
-        self._session_broadcast: Optional[Broadcast] = None
-        self.fleet = fleet or sample_device_fleet(dataset.num_clients,
-                                                  seed=self.config.seed)
-        if len(self.fleet) != dataset.num_clients:
-            raise ValueError(
-                f"device fleet has {len(self.fleet)} profiles but the dataset "
-                f"has {dataset.num_clients} clients")
-        self.cost_model = cost_model or LocalCostModel(self.config.cost_alpha,
-                                                       seed=self.config.seed)
-        self.scenario = (ScenarioEngine(self.config.scenario,
-                                        seed=self.config.seed)
-                         if self.config.scenario is not None else None)
-        self.model = model_builder()
-        self.clients: Dict[int, Client] = {
-            cid: Client(cid, dataset.client(cid), self.fleet[cid])
-            for cid in dataset.client_ids
-        }
-        self.context = StrategyContext(
-            model=self.model, clients=self.clients, dataset=dataset,
-            fleet=self.fleet, config=self.config, cost_model=self.cost_model,
-            rng=np.random.default_rng(self.config.seed))
+        self.core = ServerCore(strategy, dataset, model_builder,
+                               config=config, fleet=fleet,
+                               cost_model=cost_model, executor=executor,
+                               use_broadcast=use_broadcast)
+
+    # ------------------------------------------------------------ delegates
+    @property
+    def strategy(self) -> Strategy:
+        return self.core.strategy
+
+    @property
+    def dataset(self) -> FederatedDataset:
+        return self.core.dataset
+
+    @property
+    def config(self) -> FederatedConfig:
+        return self.core.config
+
+    @property
+    def executor(self) -> Optional[Executor]:
+        return self.core.executor
+
+    @property
+    def use_broadcast(self) -> bool:
+        return self.core.use_broadcast
+
+    @property
+    def fleet(self) -> DeviceFleet:
+        return self.core.fleet
+
+    @property
+    def cost_model(self) -> LocalCostModel:
+        return self.core.cost_model
+
+    @property
+    def scenario(self):
+        return self.core.scenario
+
+    @property
+    def model(self) -> Sequential:
+        return self.core.model
+
+    @property
+    def clients(self) -> Dict[int, Client]:
+        return self.core.clients
+
+    @property
+    def context(self) -> StrategyContext:
+        return self.core.context
 
     # ------------------------------------------------------------------ run
     def run(self) -> TrainingHistory:
-        """Execute ``config.num_rounds`` rounds and return the history."""
-        try:
-            return self._run()
-        finally:
-            self.close()
+        """Execute the configured scheduler and return the history."""
+        return self.core.run()
 
-    def _run(self) -> TrainingHistory:
-        history = TrainingHistory(method=self.strategy.name,
-                                  dataset=self.dataset.name)
-        self.strategy.setup(self.context)
-        cumulative_flops = 0.0
-        cumulative_time = 0.0
-        cumulative_sim_time = 0.0
-        for round_index in range(self.config.num_rounds):
-            selected = self._select_clients(round_index)
-            if self.scenario is not None:
-                active, unavailable = self.scenario.split_available(
-                    round_index, selected)
-            else:
-                active, unavailable = list(selected), []
-            updates = self._run_local_updates(round_index, active)
-
-            costs: Dict[int, CostBreakdown] = {}
-            round_flops = 0.0
-            upload = 0.0
-            download = 0.0
-            for update in updates:
-                device = self.fleet[update.client_id]
-                footprint = SparseCost(update.flops, update.upload_bytes,
-                                       update.download_bytes)
-                costs[update.client_id] = self.cost_model.client_cost(
-                    device, footprint, round_index)
-                round_flops += update.flops
-                upload += update.upload_bytes
-                download += update.download_bytes
-            round_time = LocalCostModel.round_time(costs.values())
-            outcome = self._resolve_round(round_index, costs)
-            kept = set(outcome.participants)
-            kept_updates = [u for u in updates if u.client_id in kept]
-            kept_costs = {u.client_id: costs[u.client_id]
-                          for u in kept_updates}
-            self.strategy.aggregate(round_index, kept_updates)
-            self.strategy.post_round(round_index, kept_updates, kept_costs)
-
-            cumulative_flops += round_flops
-            cumulative_time += round_time
-            cumulative_sim_time += outcome.sim_time
-            train_accuracy = (float(np.mean([u.train_accuracy
-                                             for u in kept_updates]))
-                              if kept_updates else 0.0)
-            should_eval = ((round_index + 1) % self.config.eval_every == 0
-                           or round_index == self.config.num_rounds - 1)
-            # when evaluation is skipped this round, the last fresh value is
-            # carried forward and flagged as such via ``evaluated=False``
-            test_accuracy = (self.evaluate_personalized()
-                             if should_eval else
-                             (history.records[-1].test_accuracy
-                              if history.records else 0.0))
-            history.append(RoundRecord(
-                round_index=round_index, selected_clients=selected,
-                train_accuracy=train_accuracy, test_accuracy=test_accuracy,
-                round_flops=round_flops, round_time_seconds=round_time,
-                upload_bytes=upload, download_bytes=download,
-                cumulative_flops=cumulative_flops,
-                cumulative_time_seconds=cumulative_time,
-                sparse_ratios={u.client_id: u.sparse_ratio for u in updates},
-                evaluated=should_eval,
-                sim_time=outcome.sim_time,
-                cumulative_sim_time=cumulative_sim_time,
-                dropped=sorted(unavailable) + list(outcome.stragglers),
-                straggler_count=len(outcome.stragglers)))
-        return history
-
-    # -------------------------------------------------------------- scenario
-    def _select_clients(self, round_index: int) -> List[int]:
-        """Ask the strategy for a round's clients, over-selecting if asked.
-
-        Over-selection widens ``clients_per_round`` *through the config* for
-        the duration of the call, so every strategy's own selection logic
-        (uniform, Oort-style utility, ...) sees the widened budget without
-        API changes.
-        """
-        if self.scenario is None:
-            return self.strategy.select_clients(round_index)
-        base = self.config.clients_per_round
-        target = min(self.scenario.selection_target(base), len(self.clients))
-        if target == base:
-            return self.strategy.select_clients(round_index)
-        self.config.clients_per_round = target
-        try:
-            return self.strategy.select_clients(round_index)
-        finally:
-            self.config.clients_per_round = base
-
-    def _resolve_round(self, round_index: int,
-                       costs: Dict[int, CostBreakdown]) -> RoundOutcome:
-        """Let the scenario decide who survives and how long the round took.
-
-        Without a scenario every client that ran participates and the round
-        takes the synchronous Eq. 18 time, exactly as before this engine
-        existed.
-        """
-        if self.scenario is None:
-            return RoundOutcome(tuple(sorted(costs)), (),
-                                LocalCostModel.round_time(costs.values()))
-        latencies = {client_id: self.scenario.latency(
-            round_index, client_id, cost.total_seconds)
-            for client_id, cost in costs.items()}
-        return self.scenario.resolve(round_index, latencies)
-
-    # ------------------------------------------------------------ broadcast
-    def _broadcast_enabled(self) -> bool:
-        """Whether fan-out should go through the shared-memory broadcast."""
-        return (self.use_broadcast and self.executor is not None
-                and self.executor.supports_broadcast)
-
-    def _session_handle(self) -> BroadcastHandle:
-        """Publish the run invariants once per trainer (lazily).
-
-        The model's parameter *values* at publication time are irrelevant:
-        every task installs the parameters it needs (``train_locally`` /
-        ``evaluate_params`` both call ``set_parameters`` first), so only the
-        architecture matters — exactly as with the serial reference, where
-        one model instance is scratch space for every client in turn.
-        """
-        if self._session_broadcast is None:
-            self._session_broadcast = Broadcast(
-                (self.model, self.dataset, self.fleet, self.config,
-                 self.cost_model))
-        return self._session_broadcast.handle
-
-    def _round_broadcast(self, round_index: int) -> Broadcast:
-        """Publish the round-invariant payload: strategy template + params.
-
-        The template is the strategy with its big, round-invariant pieces
-        stripped: ``global_params`` travels as raw shared-memory blocks and
-        ``context`` is rebuilt worker-side from the session broadcast.
-        """
-        template = copy.copy(self.strategy)
-        template.context = None
-        template.global_params = None
-        return Broadcast((template, self.context.rng),
-                         params=self.strategy.global_params,
-                         round_index=round_index)
+    def evaluate_personalized(self) -> float:
+        """Average accuracy of every client's inference model on its test shard."""
+        return self.core.evaluate_personalized()
 
     def close(self) -> None:
         """Release broadcast resources (recreated lazily if needed again)."""
-        if self._session_broadcast is not None:
-            self._session_broadcast.close()
-            self._session_broadcast = None
-
-    # ------------------------------------------------------------- dispatch
-    def _dispatch_strategy(self, client: Client) -> Strategy:
-        """A shallow strategy copy whose context carries only ``client``.
-
-        The copy shares the (read-only during fan-out) global parameters and
-        model with the original; slimming ``context.clients`` and the
-        dataset's shards down to the one dispatched client keeps
-        thread/process payloads proportional to a single client — the other
-        clients' states and data never cross the worker boundary.  Dataset
-        metadata (name, num_classes, input_shape) stays intact for
-        strategies that consult it during local work.
-        """
-        strategy = copy.copy(self.strategy)
-        slim_dataset = replace(
-            self.dataset, clients={client.client_id: client.data})
-        strategy.context = replace(self.context,
-                                   clients={client.client_id: client},
-                                   dataset=slim_dataset)
-        return strategy
-
-    def _run_local_updates(self, round_index: int,
-                           selected: List[int]) -> List[ClientUpdate]:
-        """Run the selected clients' local updates, fanning out if possible."""
-        if self.executor is None or not selected:
-            return [self.strategy.local_update(round_index, self.clients[cid])
-                    for cid in selected]
-        if self._broadcast_enabled():
-            session = self._session_handle()
-            with self._round_broadcast(round_index) as broadcast:
-                payloads = [(session, broadcast.handle, round_index, cid,
-                             self.clients[cid].state) for cid in selected]
-                results = self.executor.map_ordered(
-                    _broadcast_local_update_task, payloads)
-        else:
-            legacy = [(self._dispatch_strategy(self.clients[cid]), round_index,
-                       self.clients[cid]) for cid in selected]
-            results = self.executor.map_ordered(_local_update_task, legacy)
-        updates: List[ClientUpdate] = []
-        for update, state in results:
-            self.clients[update.client_id].state = state
-            updates.append(update)
-        return updates
-
-    # ------------------------------------------------------------ evaluation
-    def evaluate_personalized(self) -> float:
-        """Average accuracy of every client's inference model on its test shard."""
-        clients = list(self.clients.values())
-        if self.executor is None:
-            accuracies = []
-            for client in clients:
-                params, pattern = self.strategy.client_evaluation(client)
-                result = evaluate_params(self.model, params, client.test_data,
-                                         pattern=pattern)
-                accuracies.append(result["accuracy"])
-        elif self._broadcast_enabled():
-            session = self._session_handle()
-            # a fresh broadcast (not the round's): aggregation has moved the
-            # global parameters since the local-update fan-out
-            with self._round_broadcast(-1) as broadcast:
-                payloads = [(session, broadcast.handle, client.client_id,
-                             client.state) for client in clients]
-                accuracies = self.executor.map_ordered(
-                    _broadcast_evaluation_task, payloads)
-        else:
-            payloads = [(self._dispatch_strategy(client), client)
-                        for client in clients]
-            accuracies = self.executor.map_ordered(_evaluation_task, payloads)
-        return float(np.mean(accuracies)) if accuracies else 0.0
+        self.core.close()
 
 
 def run_federated(strategy: Strategy, dataset: FederatedDataset,

@@ -1,0 +1,454 @@
+"""The event-driven server core: state, fan-out transport and services.
+
+:class:`ServerCore` owns everything the old monolithic
+``FederatedTrainer._run`` loop owned — strategy, dataset, device fleet,
+cost model, scenario engine, executor and the shared-memory broadcast
+transport — but no longer hard-codes the synchronous round shape.  The
+*shape* of training (when clients are dispatched, when arrivals are
+aggregated) lives in a :class:`~repro.server.scheduler.Scheduler`; the core
+provides the services every scheduler composes:
+
+* deterministic client selection (with scenario over-selection),
+* availability splits and per-client latencies from the scenario engine,
+* local-update fan-out over the executor — ordered for the synchronous
+  scheduler, completion-order (``map_unordered``) for the asynchronous ones,
+* cost accounting through the Eq. 14 cost model,
+* personalized evaluation,
+* the session/round shared-memory broadcasts from ``repro.parallel``.
+
+The session broadcast ships the run invariants once per trainer; since the
+event-driven refactor the *dataset arrays* ride the broadcast manifest as
+raw shared-memory blocks (like the global parameters) instead of inside the
+pickled session blob — only a small skeleton (names, shapes, client ids) is
+pickled.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.dataset import ClientData, Dataset, FederatedDataset
+from ..federated.client import Client
+from ..federated.config import FederatedConfig
+from ..federated.evaluation import evaluate_params
+from ..federated.strategy import ClientUpdate, Strategy, StrategyContext
+from ..nn.model import Sequential
+from ..parallel import Broadcast, BroadcastHandle, Executor, materialize
+from ..scenarios.engine import RoundOutcome, ScenarioEngine
+from ..sparsity.accounting import SparseCost
+from ..systems.cost import CostBreakdown, LocalCostModel
+from ..systems.devices import DeviceFleet, sample_device_fleet
+from ..systems.metrics import TrainingHistory
+
+#: key prefix of the dataset blocks on the session broadcast manifest
+_DATASET_BLOCK_PREFIX = "dataset"
+
+#: round_index tag of the session broadcast (round broadcasts use >= -1)
+_SESSION_ROUND_INDEX = -2
+
+
+# ----------------------------------------------------------- session blocks
+def dataset_to_blocks(dataset: FederatedDataset
+                      ) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+    """Split a federated dataset into raw array blocks + a pickled skeleton.
+
+    The arrays (every client's train/test features and labels) are by far
+    the heaviest part of the session payload; shipping them as manifest
+    blocks keeps them out of the pickled blob entirely, exactly like the
+    global parameter blocks of a round broadcast.
+    """
+    blocks: Dict[str, np.ndarray] = {}
+    for client_id in dataset.client_ids:
+        shard = dataset.clients[client_id]
+        blocks[f"{_DATASET_BLOCK_PREFIX}/{client_id}/train/x"] = shard.train.x
+        blocks[f"{_DATASET_BLOCK_PREFIX}/{client_id}/train/y"] = shard.train.y
+        blocks[f"{_DATASET_BLOCK_PREFIX}/{client_id}/test/x"] = shard.test.x
+        blocks[f"{_DATASET_BLOCK_PREFIX}/{client_id}/test/y"] = shard.test.y
+    skeleton = {
+        "name": dataset.name,
+        "num_classes": dataset.num_classes,
+        "input_shape": tuple(dataset.input_shape),
+        "metadata": dict(dataset.metadata),
+        "client_ids": list(dataset.client_ids),
+    }
+    return blocks, skeleton
+
+
+def dataset_from_blocks(skeleton: Dict[str, object],
+                        blocks: Dict[str, np.ndarray]) -> FederatedDataset:
+    """Inverse of :func:`dataset_to_blocks` (arrays are shared, not copied)."""
+    clients: Dict[int, ClientData] = {}
+    for client_id in skeleton["client_ids"]:
+        prefix = f"{_DATASET_BLOCK_PREFIX}/{client_id}"
+        clients[client_id] = ClientData(
+            client_id=client_id,
+            train=Dataset(blocks[f"{prefix}/train/x"],
+                          blocks[f"{prefix}/train/y"]),
+            test=Dataset(blocks[f"{prefix}/test/x"],
+                         blocks[f"{prefix}/test/y"]))
+    return FederatedDataset(
+        name=skeleton["name"], clients=clients,
+        num_classes=skeleton["num_classes"],
+        input_shape=tuple(skeleton["input_shape"]),
+        metadata=dict(skeleton["metadata"]))
+
+
+#: worker-side memo of rebuilt sessions, keyed like the materialize cache —
+#: thread-local for the same reason (per process-worker / per thread-worker)
+_session_memo = threading.local()
+_SESSION_MEMO_LIMIT = 2
+
+
+def materialized_session(handle: BroadcastHandle) -> tuple:
+    """The rebuilt ``(model, dataset, fleet, config, cost_model)`` session.
+
+    :func:`repro.parallel.materialize` already caches the raw blocks and the
+    pickled skeleton per worker; this memo additionally caches the
+    *reconstructed* dataset so the per-task cost of a session hit is a pure
+    dictionary lookup.
+    """
+    memo = getattr(_session_memo, "entries", None)
+    if memo is None:
+        memo = _session_memo.entries = {}
+    key = handle.cache_key
+    hit = memo.get(key)
+    if hit is not None:
+        return hit
+    blocks, payload = materialize(handle)
+    model, skeleton, fleet, config, cost_model = payload
+    dataset = dataset_from_blocks(skeleton, blocks)
+    session = (model, dataset, fleet, config, cost_model)
+    if len(memo) >= _SESSION_MEMO_LIMIT:
+        memo.clear()
+    memo[key] = session
+    return session
+
+
+# ------------------------------------------------------------ worker tasks
+def _local_update_task(payload: Tuple[Strategy, int, Client]
+                       ) -> Tuple[ClientUpdate, Dict]:
+    """Run one client's local update; executed on a worker.
+
+    Strategies persist per-client information in ``client.state``, so the
+    (possibly mutated) state dictionary is shipped back alongside the update
+    — with the thread/process backends the caller never sees in-place
+    mutations.
+    """
+    strategy, round_index, client = payload
+    update = strategy.local_update(round_index, client)
+    return update, client.state
+
+
+def _evaluation_task(payload: Tuple[Strategy, Client]) -> float:
+    """Evaluate one client's personalized model; executed on a worker."""
+    strategy, client = payload
+    params, pattern = strategy.client_evaluation(client)
+    result = evaluate_params(strategy.context.model, params, client.test_data,
+                             pattern=pattern)
+    return result["accuracy"]
+
+
+def _bind_broadcast_client(session_handle: BroadcastHandle,
+                           round_handle: BroadcastHandle, client_id: int,
+                           state: Dict) -> Tuple[Strategy, Client]:
+    """Rebuild a dispatch-ready strategy + client from broadcast handles.
+
+    The session broadcast carries the run invariants (model architecture,
+    dataset shards as raw blocks, fleet, config, cost model); the round
+    broadcast carries the strategy template and the global parameter blocks.
+    Both are cached per worker (:func:`repro.parallel.materialize` plus the
+    session memo above), so only ``(client_id, state)`` actually crosses the
+    worker boundary per task.  Reusing the materialized template across a
+    worker's sequential tasks mirrors the serial reference, where one
+    strategy/model instance serves every client of the round in turn.
+    """
+    model, dataset, fleet, config, cost_model = \
+        materialized_session(session_handle)
+    global_params, (template, rng) = materialize(round_handle)
+    client = Client(client_id, dataset.client(client_id), fleet[client_id],
+                    state=state)
+    strategy = copy.copy(template)
+    strategy.global_params = global_params
+    strategy.context = StrategyContext(
+        model=model, clients={client_id: client}, dataset=dataset,
+        fleet=fleet, config=config, cost_model=cost_model, rng=rng)
+    return strategy, client
+
+
+def _broadcast_local_update_task(
+        payload: Tuple[BroadcastHandle, BroadcastHandle, int, int, Dict]
+        ) -> Tuple[ClientUpdate, Dict]:
+    """Broadcast-era variant of :func:`_local_update_task`."""
+    session_handle, round_handle, round_index, client_id, state = payload
+    strategy, client = _bind_broadcast_client(session_handle, round_handle,
+                                              client_id, state)
+    update = strategy.local_update(round_index, client)
+    return update, client.state
+
+
+def _broadcast_evaluation_task(
+        payload: Tuple[BroadcastHandle, BroadcastHandle, int, Dict]) -> float:
+    """Broadcast-era variant of :func:`_evaluation_task`."""
+    session_handle, round_handle, client_id, state = payload
+    strategy, client = _bind_broadcast_client(session_handle, round_handle,
+                                              client_id, state)
+    params, pattern = strategy.client_evaluation(client)
+    result = evaluate_params(strategy.context.model, params, client.test_data,
+                             pattern=pattern)
+    return result["accuracy"]
+
+
+# ------------------------------------------------------------------- core
+class ServerCore:
+    """Server-side state and services shared by every scheduler.
+
+    The core is strategy-agnostic and *shape*-agnostic: it knows how to
+    select clients, fan their local updates out across the executor, bill
+    their costs and evaluate the personalized models — the scheduler decides
+    in which order those services compose into a training run.
+    """
+
+    def __init__(self, strategy: Strategy, dataset: FederatedDataset,
+                 model_builder: Callable[[], Sequential], *,
+                 config: Optional[FederatedConfig] = None,
+                 fleet: Optional[DeviceFleet] = None,
+                 cost_model: Optional[LocalCostModel] = None,
+                 executor: Optional[Executor] = None,
+                 use_broadcast: bool = True) -> None:
+        self.strategy = strategy
+        self.dataset = dataset
+        self.config = config or FederatedConfig()
+        self.executor = executor
+        self.use_broadcast = use_broadcast
+        self._session_broadcast: Optional[Broadcast] = None
+        self.fleet = fleet or sample_device_fleet(dataset.num_clients,
+                                                  seed=self.config.seed)
+        if len(self.fleet) != dataset.num_clients:
+            raise ValueError(
+                f"device fleet has {len(self.fleet)} profiles but the dataset "
+                f"has {dataset.num_clients} clients")
+        self.cost_model = cost_model or LocalCostModel(self.config.cost_alpha,
+                                                       seed=self.config.seed)
+        self.scenario = (ScenarioEngine(self.config.scenario,
+                                        seed=self.config.seed)
+                         if self.config.scenario is not None else None)
+        self.model = model_builder()
+        self.clients: Dict[int, Client] = {
+            cid: Client(cid, dataset.client(cid), self.fleet[cid])
+            for cid in dataset.client_ids
+        }
+        self.context = StrategyContext(
+            model=self.model, clients=self.clients, dataset=dataset,
+            fleet=self.fleet, config=self.config, cost_model=self.cost_model,
+            rng=np.random.default_rng(self.config.seed))
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> TrainingHistory:
+        """Build the configured scheduler and drive it to completion."""
+        from .scheduler import build_scheduler
+
+        scheduler = build_scheduler(self.config)
+        try:
+            return scheduler.run(self)
+        finally:
+            self.close()
+
+    # -------------------------------------------------------------- scenario
+    def select_clients(self, round_index: int) -> List[int]:
+        """Ask the strategy for a round's clients, over-selecting if asked.
+
+        Over-selection widens ``clients_per_round`` *through the config* for
+        the duration of the call, so every strategy's own selection logic
+        (uniform, Oort-style utility, ...) sees the widened budget without
+        API changes.
+        """
+        if self.scenario is None:
+            return self.strategy.select_clients(round_index)
+        base = self.config.clients_per_round
+        target = min(self.scenario.selection_target(base), len(self.clients))
+        if target == base:
+            return self.strategy.select_clients(round_index)
+        self.config.clients_per_round = target
+        try:
+            return self.strategy.select_clients(round_index)
+        finally:
+            self.config.clients_per_round = base
+
+    def split_available(self, round_index: int, selected: List[int]
+                        ) -> Tuple[List[int], List[int]]:
+        """Partition invited clients into (reachable, unreachable)."""
+        if self.scenario is None:
+            return list(selected), []
+        return self.scenario.split_available(round_index, selected)
+
+    def latency(self, round_index: int, client_id: int,
+                base_seconds: float) -> float:
+        """A client's sim latency (straggler spikes included, if scenario)."""
+        if self.scenario is None:
+            return float(base_seconds)
+        return self.scenario.latency(round_index, client_id, base_seconds)
+
+    def resolve_round(self, round_index: int,
+                      costs: Dict[int, CostBreakdown]) -> RoundOutcome:
+        """Let the scenario decide who survives and how long the round took.
+
+        Without a scenario every client that ran participates and the round
+        takes the synchronous Eq. 18 time, exactly as before this engine
+        existed.
+        """
+        if self.scenario is None:
+            return RoundOutcome(tuple(sorted(costs)), (),
+                                LocalCostModel.round_time(costs.values()))
+        latencies = {client_id: self.scenario.latency(
+            round_index, client_id, cost.total_seconds)
+            for client_id, cost in costs.items()}
+        return self.scenario.resolve(round_index, latencies)
+
+    # ----------------------------------------------------------------- costs
+    def client_costs(self, round_index: int, updates: List[ClientUpdate]
+                     ) -> Dict[int, CostBreakdown]:
+        """Per-client Eq. 14 cost of the round's reported footprints."""
+        costs: Dict[int, CostBreakdown] = {}
+        for update in updates:
+            device = self.fleet[update.client_id]
+            footprint = SparseCost(update.flops, update.upload_bytes,
+                                   update.download_bytes)
+            costs[update.client_id] = self.cost_model.client_cost(
+                device, footprint, round_index)
+        return costs
+
+    # ------------------------------------------------------------ broadcast
+    def _broadcast_enabled(self) -> bool:
+        """Whether fan-out should go through the shared-memory broadcast."""
+        return (self.use_broadcast and self.executor is not None
+                and self.executor.supports_broadcast)
+
+    def _session_handle(self) -> BroadcastHandle:
+        """Publish the run invariants once per trainer (lazily).
+
+        The model's parameter *values* at publication time are irrelevant:
+        every task installs the parameters it needs (``train_locally`` /
+        ``evaluate_params`` both call ``set_parameters`` first), so only the
+        architecture matters — exactly as with the serial reference, where
+        one model instance is scratch space for every client in turn.  The
+        dataset arrays travel as raw manifest blocks; only the skeleton is
+        pickled into the session blob.
+        """
+        if self._session_broadcast is None:
+            blocks, skeleton = dataset_to_blocks(self.dataset)
+            self._session_broadcast = Broadcast(
+                (self.model, skeleton, self.fleet, self.config,
+                 self.cost_model),
+                params=blocks, round_index=_SESSION_ROUND_INDEX)
+        return self._session_broadcast.handle
+
+    def _round_broadcast(self, round_index: int) -> Broadcast:
+        """Publish the round-invariant payload: strategy template + params.
+
+        The template is the strategy with its big, round-invariant pieces
+        stripped: ``global_params`` travels as raw shared-memory blocks and
+        ``context`` is rebuilt worker-side from the session broadcast.
+        """
+        template = copy.copy(self.strategy)
+        template.context = None
+        template.global_params = None
+        return Broadcast((template, self.context.rng),
+                         params=self.strategy.global_params,
+                         round_index=round_index)
+
+    def close(self) -> None:
+        """Release broadcast resources (recreated lazily if needed again)."""
+        if self._session_broadcast is not None:
+            self._session_broadcast.close()
+            self._session_broadcast = None
+
+    # ------------------------------------------------------------- dispatch
+    def _dispatch_strategy(self, client: Client) -> Strategy:
+        """A shallow strategy copy whose context carries only ``client``.
+
+        The copy shares the (read-only during fan-out) global parameters and
+        model with the original; slimming ``context.clients`` and the
+        dataset's shards down to the one dispatched client keeps
+        thread/process payloads proportional to a single client — the other
+        clients' states and data never cross the worker boundary.  Dataset
+        metadata (name, num_classes, input_shape) stays intact for
+        strategies that consult it during local work.
+        """
+        strategy = copy.copy(self.strategy)
+        slim_dataset = replace(
+            self.dataset, clients={client.client_id: client.data})
+        strategy.context = replace(self.context,
+                                   clients={client.client_id: client},
+                                   dataset=slim_dataset)
+        return strategy
+
+    def run_local_updates(self, round_index: int, selected: List[int], *,
+                          ordered: bool = True) -> List[ClientUpdate]:
+        """Run the selected clients' local updates, fanning out if possible.
+
+        With either mode the pool runs the cohort's clients concurrently and
+        the call returns once the whole cohort has finished.  ``ordered=False``
+        goes through the executor's ``map_unordered``, which skips the
+        input-order barrier on the result list (and is the hook for streaming
+        per-arrival consumption later); the asynchronous schedulers use it
+        because they impose their own order — the event queue's pure
+        ``(finish_time, client_id)`` sort — so the per-update contents are
+        identical either way.
+        """
+        if self.executor is None or not selected:
+            return [self.strategy.local_update(round_index, self.clients[cid])
+                    for cid in selected]
+        if self._broadcast_enabled():
+            session = self._session_handle()
+            with self._round_broadcast(round_index) as broadcast:
+                payloads = [(session, broadcast.handle, round_index, cid,
+                             self.clients[cid].state) for cid in selected]
+                results = self._map(_broadcast_local_update_task, payloads,
+                                    ordered=ordered)
+        else:
+            legacy = [(self._dispatch_strategy(self.clients[cid]), round_index,
+                       self.clients[cid]) for cid in selected]
+            results = self._map(_local_update_task, legacy, ordered=ordered)
+        updates: List[ClientUpdate] = []
+        for update, state in results:
+            self.clients[update.client_id].state = state
+            updates.append(update)
+        return updates
+
+    def _map(self, fn, payloads, *, ordered: bool) -> List:
+        """Dispatch payloads on the executor, ordered or completion-order."""
+        if ordered:
+            return self.executor.map_ordered(fn, payloads)
+        return [result for _, result in
+                self.executor.map_unordered(fn, payloads)]
+
+    # ------------------------------------------------------------ evaluation
+    def evaluate_personalized(self) -> float:
+        """Average accuracy of every client's inference model on its test shard."""
+        clients = list(self.clients.values())
+        if self.executor is None:
+            accuracies = []
+            for client in clients:
+                params, pattern = self.strategy.client_evaluation(client)
+                result = evaluate_params(self.model, params, client.test_data,
+                                         pattern=pattern)
+                accuracies.append(result["accuracy"])
+        elif self._broadcast_enabled():
+            session = self._session_handle()
+            # a fresh broadcast (not the round's): aggregation has moved the
+            # global parameters since the local-update fan-out
+            with self._round_broadcast(-1) as broadcast:
+                payloads = [(session, broadcast.handle, client.client_id,
+                             client.state) for client in clients]
+                accuracies = self.executor.map_ordered(
+                    _broadcast_evaluation_task, payloads)
+        else:
+            payloads = [(self._dispatch_strategy(client), client)
+                        for client in clients]
+            accuracies = self.executor.map_ordered(_evaluation_task, payloads)
+        return float(np.mean(accuracies)) if accuracies else 0.0

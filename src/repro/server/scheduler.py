@@ -1,0 +1,358 @@
+"""Schedulers: the *shape* of federated training on the server core.
+
+A :class:`Scheduler` turns the services of a
+:class:`~repro.server.core.ServerCore` into a complete training run:
+
+* :class:`SyncScheduler` — the paper's synchronous loop, extracted verbatim
+  from the old monolithic ``FederatedTrainer._run``: select, fan out, wait
+  for the whole cohort, aggregate.  Its histories are bit-identical to the
+  pre-refactor trainer (the golden-history fixtures enforce this).
+* :class:`AsyncScheduler` — FedAsync-style (Xie et al., asynchronous
+  federated optimization): the server consumes client completions in sim
+  order and folds **every arrival** into the global model immediately, with
+  the staleness-decayed weight ``alpha / (1 + staleness)^a``.
+* :class:`BufferedScheduler` — FedBuff-style (Nguyen et al., buffered
+  asynchronous aggregation): arrivals accumulate in a buffer that is
+  aggregated every ``buffer_size`` arrivals; a partial buffer at run end is
+  never flushed.
+
+Determinism contract
+    The asynchronous schedulers consume completions in the order of the
+    pure sort key ``(finish_time, client_id)`` — never real arrival time.
+    Finish times come from the scenario/cost-model latency of the dispatch
+    round, so the consumption order (and every aggregation) is a pure
+    function of ``(seed, round, client)`` and histories stay bit-identical
+    across the serial/thread/process backends.  The pool still runs a
+    dispatch cohort's clients concurrently in *real* time (``map_unordered``
+    fan-out, no result-order barrier); only the simulated order is pinned.
+
+Async round shape
+    Each simulated "round" dispatches a fresh cohort (same selection,
+    availability and over-selection machinery as sync — clients still busy
+    with an earlier dispatch are skipped) and then consumes
+    ``async_arrivals_per_round`` completions from the global in-flight pool
+    before the next dispatch.  Because the earliest completions win,
+    stragglers no longer gate the round cadence: their updates land rounds
+    later with a staleness discount, while the sim clock advances at the
+    pace of the fast clients.  In-flight work left at run end is discarded
+    (its compute/upload cost was already billed at dispatch), matching the
+    synchronous engine's treatment of dropped stragglers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+from ..federated.config import AGGREGATIONS, FederatedConfig
+from ..systems.cost import CostBreakdown, LocalCostModel
+from ..systems.metrics import RoundRecord, TrainingHistory
+from .clock import ClientEvent, EventQueue, SimClock
+from .core import ServerCore
+from .policy import AggregationPolicy, Arrival
+
+
+class Scheduler:
+    """Protocol: drive a :class:`ServerCore` through one training run."""
+
+    name = "base"
+
+    def run(self, core: ServerCore) -> TrainingHistory:
+        raise NotImplementedError
+
+
+class SyncScheduler(Scheduler):
+    """The paper's synchronous round loop (select -> fan out -> wait -> merge).
+
+    This is the old ``FederatedTrainer._run`` body verbatim, expressed in
+    terms of the core's services; any numeric drift from the monolithic loop
+    is a bug (the golden-history suite pins it bit-for-bit).
+    """
+
+    name = "sync"
+
+    def run(self, core: ServerCore) -> TrainingHistory:
+        config = core.config
+        history = TrainingHistory(method=core.strategy.name,
+                                  dataset=core.dataset.name)
+        core.strategy.setup(core.context)
+        cumulative_flops = 0.0
+        cumulative_time = 0.0
+        cumulative_sim_time = 0.0
+        for round_index in range(config.num_rounds):
+            selected = core.select_clients(round_index)
+            active, unavailable = core.split_available(round_index, selected)
+            updates = core.run_local_updates(round_index, active)
+
+            costs = core.client_costs(round_index, updates)
+            round_flops = float(sum(u.flops for u in updates))
+            upload = float(sum(u.upload_bytes for u in updates))
+            download = float(sum(u.download_bytes for u in updates))
+            round_time = LocalCostModel.round_time(costs.values())
+            outcome = core.resolve_round(round_index, costs)
+            kept = set(outcome.participants)
+            kept_updates = [u for u in updates if u.client_id in kept]
+            kept_costs = {u.client_id: costs[u.client_id]
+                          for u in kept_updates}
+            core.strategy.aggregate(round_index, kept_updates)
+            core.strategy.post_round(round_index, kept_updates, kept_costs)
+
+            cumulative_flops += round_flops
+            cumulative_time += round_time
+            cumulative_sim_time += outcome.sim_time
+            train_accuracy = (float(np.mean([u.train_accuracy
+                                             for u in kept_updates]))
+                              if kept_updates else 0.0)
+            should_eval = ((round_index + 1) % config.eval_every == 0
+                           or round_index == config.num_rounds - 1)
+            # when evaluation is skipped this round, the last fresh value is
+            # carried forward and flagged as such via ``evaluated=False``
+            test_accuracy = (core.evaluate_personalized()
+                             if should_eval else
+                             (history.records[-1].test_accuracy
+                              if history.records else 0.0))
+            history.append(RoundRecord(
+                round_index=round_index, selected_clients=selected,
+                train_accuracy=train_accuracy, test_accuracy=test_accuracy,
+                round_flops=round_flops, round_time_seconds=round_time,
+                upload_bytes=upload, download_bytes=download,
+                cumulative_flops=cumulative_flops,
+                cumulative_time_seconds=cumulative_time,
+                sparse_ratios={u.client_id: u.sparse_ratio for u in updates},
+                evaluated=should_eval,
+                sim_time=outcome.sim_time,
+                cumulative_sim_time=cumulative_sim_time,
+                dropped=sorted(unavailable) + list(outcome.stragglers),
+                straggler_count=len(outcome.stragglers)))
+        return history
+
+
+class _EventDrivenScheduler(Scheduler):
+    """Shared machinery of the asynchronous (event-consuming) schedulers.
+
+    Subclasses decide what happens per consumed completion
+    (:meth:`consume`) and how many completions a round waits for
+    (:meth:`arrivals_per_round`); the base class owns the dispatch loop,
+    the event queue, the sim clock and the per-round record bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self._version = 0
+
+    # ------------------------------------------------------------- subclass
+    def reset(self) -> None:
+        """Clear per-run state; called at the start of every :meth:`run`."""
+        self._version = 0
+
+    def arrivals_per_round(self, config: FederatedConfig) -> int:
+        raise NotImplementedError
+
+    def consume(self, core: ServerCore, policy: AggregationPolicy,
+                round_index: int, event: ClientEvent) -> List[Arrival]:
+        """Fold one completion in; returns the arrivals aggregated *now*."""
+        raise NotImplementedError
+
+    def pending_buffer(self) -> int:
+        """Arrivals held back for a future aggregation (FedBuff buffer)."""
+        return 0
+
+    def pending_clients(self) -> set:
+        """Clients whose consumed arrival has not been aggregated yet.
+
+        They count as busy alongside the in-flight set: at most one
+        un-incorporated update per client may exist at any time, so a flush
+        batch can never carry the same client twice and the per-round
+        ``{client_id: cost}`` bookkeeping handed to ``post_round`` stays
+        one-to-one with the aggregated updates.
+        """
+        return set()
+
+    # ------------------------------------------------------------------ run
+    def run(self, core: ServerCore) -> TrainingHistory:
+        config = core.config
+        policy = AggregationPolicy(alpha=config.async_alpha,
+                                   exponent=config.staleness_exponent)
+        queue = EventQueue()
+        clock = SimClock()
+        history = TrainingHistory(method=core.strategy.name,
+                                  dataset=core.dataset.name)
+        core.strategy.setup(core.context)
+        self.reset()
+        in_flight: set = set()
+        cumulative_flops = 0.0
+        cumulative_time = 0.0
+        target = self.arrivals_per_round(config)
+        for round_index in range(config.num_rounds):
+            round_start = clock.now
+            selected = core.select_clients(round_index)
+            available, unavailable = core.split_available(round_index,
+                                                          selected)
+            # a client still computing an earlier dispatch — or whose update
+            # is still waiting in the aggregation buffer — cannot take a new
+            # one; it is reported alongside the unavailable clients
+            blocked = in_flight | self.pending_clients()
+            busy = sorted(cid for cid in available if cid in blocked)
+            ready = [cid for cid in available if cid not in blocked]
+            updates = core.run_local_updates(round_index, ready,
+                                             ordered=False)
+            # completion order is real-time nondeterministic; re-impose the
+            # pure client-id order before any float accumulation so sums and
+            # cost iteration stay bit-identical across backends
+            updates.sort(key=lambda update: update.client_id)
+            costs = core.client_costs(round_index, updates)
+            round_flops = float(sum(u.flops for u in updates))
+            upload = float(sum(u.upload_bytes for u in updates))
+            download = float(sum(u.download_bytes for u in updates))
+            # the synchronous-equivalent Eq. 18 round time of the dispatched
+            # cohort keeps ``cumulative_time_seconds`` comparable with sync
+            round_time = LocalCostModel.round_time(costs.values())
+            for update in updates:
+                client_id = update.client_id
+                latency = core.latency(round_index, client_id,
+                                       costs[client_id].total_seconds)
+                queue.push(ClientEvent(
+                    finish_time=clock.now + latency, client_id=client_id,
+                    round_index=round_index, dispatch_version=self._version,
+                    update=update, cost=costs[client_id]))
+                in_flight.add(client_id)
+
+            aggregated: List[Arrival] = []
+            aggregated_costs: Dict[int, CostBreakdown] = {}
+            processed = 0
+            while processed < target and queue:
+                event = queue.pop()
+                clock.advance_to(event.finish_time)
+                in_flight.discard(event.client_id)
+                processed += 1
+                for arrival in self.consume(core, policy, round_index, event):
+                    aggregated.append(arrival)
+                    aggregated_costs[arrival.update.client_id] = arrival.cost
+
+            kept_updates = [a.update for a in aggregated]
+            core.strategy.post_round(round_index, kept_updates,
+                                     aggregated_costs)
+
+            cumulative_flops += round_flops
+            cumulative_time += round_time
+            staleness_mean = (float(np.mean([a.staleness for a in aggregated]))
+                              if aggregated else 0.0)
+            train_accuracy = (float(np.mean([u.train_accuracy
+                                             for u in kept_updates]))
+                              if kept_updates else 0.0)
+            should_eval = ((round_index + 1) % config.eval_every == 0
+                           or round_index == config.num_rounds - 1)
+            test_accuracy = (core.evaluate_personalized()
+                             if should_eval else
+                             (history.records[-1].test_accuracy
+                              if history.records else 0.0))
+            history.append(RoundRecord(
+                round_index=round_index, selected_clients=selected,
+                train_accuracy=train_accuracy, test_accuracy=test_accuracy,
+                round_flops=round_flops, round_time_seconds=round_time,
+                upload_bytes=upload, download_bytes=download,
+                cumulative_flops=cumulative_flops,
+                cumulative_time_seconds=cumulative_time,
+                sparse_ratios={u.client_id: u.sparse_ratio for u in updates},
+                evaluated=should_eval,
+                sim_time=clock.now - round_start,
+                cumulative_sim_time=clock.now,
+                dropped=sorted(unavailable) + busy,
+                staleness_mean=staleness_mean,
+                buffer_size=self.pending_buffer()))
+        # in-flight work (and any partial buffer) at run end is discarded:
+        # the server stopped training, exactly like a synchronous run drops
+        # stragglers — their compute/upload was already billed at dispatch
+        return history
+
+
+class AsyncScheduler(_EventDrivenScheduler):
+    """FedAsync: every arrival immediately moves the global model."""
+
+    name = "fedasync"
+
+    def arrivals_per_round(self, config: FederatedConfig) -> int:
+        if config.async_arrivals_per_round is not None:
+            return config.async_arrivals_per_round
+        return max(1, config.clients_per_round)
+
+    def consume(self, core, policy, round_index, event):
+        arrival = Arrival(update=event.update,
+                          staleness=self._version - event.dispatch_version,
+                          cost=event.cost)
+        policy.merge(core.strategy, round_index, [arrival])
+        self._version += 1
+        return [arrival]
+
+
+class BufferedScheduler(_EventDrivenScheduler):
+    """FedBuff: aggregate every ``buffer_size`` arrivals as one batch.
+
+    Buffered clients stay blocked until their update is flushed (one
+    un-incorporated update per client), so ``buffer_size`` must not exceed
+    the number of clients — a larger buffer can never fill and the global
+    model would never move.
+    """
+
+    name = "fedbuff"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._buffer: List[ClientEvent] = []
+
+    def reset(self) -> None:
+        # a reused scheduler instance must not leak the previous run's
+        # never-flushed tail into the next run's first flush
+        super().reset()
+        self._buffer = []
+
+    def arrivals_per_round(self, config: FederatedConfig) -> int:
+        if config.async_arrivals_per_round is not None:
+            return config.async_arrivals_per_round
+        return max(config.buffer_size,
+                   math.ceil(config.clients_per_round / 2))
+
+    def pending_buffer(self) -> int:
+        return len(self._buffer)
+
+    def pending_clients(self) -> set:
+        return {event.client_id for event in self._buffer}
+
+    def consume(self, core, policy, round_index, event):
+        self._buffer.append(event)
+        if len(self._buffer) < core.config.buffer_size:
+            return []
+        # staleness is measured at flush time, against the current version
+        batch = [Arrival(update=e.update,
+                         staleness=self._version - e.dispatch_version,
+                         cost=e.cost)
+                 for e in self._buffer]
+        policy.merge(core.strategy, round_index, batch)
+        self._version += 1
+        self._buffer = []
+        return batch
+
+
+SCHEDULERS: Dict[str, Type[Scheduler]] = {
+    "sync": SyncScheduler,
+    "fedasync": AsyncScheduler,
+    "fedbuff": BufferedScheduler,
+}
+
+assert tuple(sorted(SCHEDULERS)) == tuple(sorted(AGGREGATIONS))
+
+
+def available_aggregations() -> List[str]:
+    """Names accepted by ``FederatedConfig.aggregation`` / the CLI."""
+    return list(AGGREGATIONS)
+
+
+def build_scheduler(config: FederatedConfig,
+                    aggregation: Optional[str] = None) -> Scheduler:
+    """Instantiate the scheduler for a config's aggregation mode."""
+    key = (aggregation or config.aggregation).lower()
+    if key not in SCHEDULERS:
+        raise ValueError(f"unknown aggregation mode {key!r}; "
+                         f"choose from {available_aggregations()}")
+    return SCHEDULERS[key]()

@@ -36,10 +36,21 @@ class RoundRecord:
     dropped: List[int] = field(default_factory=list)
     #: how many of ``dropped`` ran their update but were cut as stragglers
     straggler_count: int = 0
+    #: mean staleness (in server versions) of the updates aggregated this
+    #: round — always 0 under synchronous aggregation
+    staleness_mean: float = 0.0
+    #: FedBuff buffer occupancy at the end of the round (0 outside fedbuff)
+    buffer_size: int = 0
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-JSON representation (used by the sweep result cache)."""
-        return {
+        """Plain-JSON representation (used by the sweep result cache).
+
+        The asynchronous-aggregation fields (``staleness_mean``,
+        ``buffer_size``) are only emitted when non-default, so synchronous
+        histories — including every golden fixture — serialize exactly as
+        they did before the event-driven server core existed.
+        """
+        payload: Dict[str, object] = {
             "round_index": self.round_index,
             "selected_clients": list(self.selected_clients),
             "train_accuracy": self.train_accuracy,
@@ -59,6 +70,10 @@ class RoundRecord:
             "dropped": list(self.dropped),
             "straggler_count": self.straggler_count,
         }
+        if self.staleness_mean or self.buffer_size:
+            payload["staleness_mean"] = self.staleness_mean
+            payload["buffer_size"] = self.buffer_size
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "RoundRecord":
@@ -75,6 +90,8 @@ class RoundRecord:
         data.setdefault("cumulative_sim_time", 0.0)
         data["dropped"] = [int(cid) for cid in data.get("dropped", [])]
         data.setdefault("straggler_count", 0)
+        data.setdefault("staleness_mean", 0.0)
+        data.setdefault("buffer_size", 0)
         return cls(**data)
 
 
@@ -136,6 +153,14 @@ class TrainingHistory:
     @property
     def total_stragglers(self) -> int:
         return int(sum(record.straggler_count for record in self.records))
+
+    @property
+    def mean_staleness(self) -> float:
+        """Average per-round mean staleness (0 for synchronous histories)."""
+        if not self.records:
+            return 0.0
+        return float(sum(record.staleness_mean for record in self.records)
+                     / len(self.records))
 
     # ------------------------------------------------------------ summaries
     def final_accuracy(self, last_rounds: int = 3) -> float:
@@ -204,6 +229,7 @@ class TrainingHistory:
             "upload_bytes": record.upload_bytes,
             "dropped": len(record.dropped),
             "stragglers": record.straggler_count,
+            "staleness_mean": record.staleness_mean,
         } for record in self.records]
 
     # --------------------------------------------------------- serialization

@@ -42,7 +42,7 @@ class TestRunFanoutBench:
     def test_report_schema(self, report):
         report, _ = report
         assert {"bench_scale", "timings", "bytes", "gate", "cpu_count",
-                "python", "platform", "workload"} <= set(report)
+                "python", "platform", "workload", "aggregation"} <= set(report)
         for entry in report["timings"].values():
             assert {"workers", "mean_seconds", "min_seconds",
                     "samples_seconds", "spawn_overhead_seconds",
@@ -61,6 +61,9 @@ class TestRunFanoutBench:
         assert traffic["broadcast_pickled_per_round"] < \
             traffic["legacy_pickled_per_round"]
         assert traffic["shared_memory_raw_per_round"] > 0
+        # the once-per-run session dataset blocks are reported separately,
+        # not smeared over the per-round cell
+        assert traffic["session_raw_bytes"] > 0
 
     def test_gate_passes_vacuously_without_process(self, report):
         report, _ = report
@@ -74,11 +77,31 @@ class TestRunFanoutBench:
         assert on_disk["bytes"]["reduction_factor"] == \
             report["bytes"]["reduction_factor"]
 
+    def test_aggregation_section_records_async_modes(self, report):
+        report, _ = report
+        section = report["aggregation"]
+        assert section["scenario"] == "flaky"
+        assert set(section["modes"]) == {"sync", "fedasync", "fedbuff"}
+        for mode in section["modes"].values():
+            assert {"wall_seconds", "sim_time_seconds", "final_accuracy",
+                    "best_accuracy", "sim_time_to_accuracy_seconds",
+                    "mean_staleness"} <= set(mode)
+            assert mode["wall_seconds"] > 0
+            assert mode["sim_time_seconds"] > 0
+        # sync has no staleness by construction; the async modes do
+        assert section["modes"]["sync"]["mean_staleness"] == 0.0
+        assert section["modes"]["fedasync"]["mean_staleness"] > 0
+        # the shared target comes from the sync run, so the sync cell
+        # always reaches it
+        assert section["modes"]["sync"]["sim_time_to_accuracy_seconds"] \
+            is not None
+
     def test_format_report_renders(self, report):
         report, _ = report
         text = format_bench_report(report)
         assert "serial" in text and "thread-2" in text
         assert "reduction" in text
+        assert "fedasync" in text and "fedbuff" in text
 
     def test_rejects_zero_repeats(self):
         with pytest.raises(ValueError, match="repeats"):

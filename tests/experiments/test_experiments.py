@@ -53,7 +53,8 @@ class TestRunner:
         assert set(summary) == {"accuracy", "best_accuracy", "total_flops",
                                 "total_time_seconds", "total_upload_bytes",
                                 "sim_time_seconds", "time_to_accuracy_seconds",
-                                "dropped_clients", "straggler_drops"}
+                                "dropped_clients", "straggler_drops",
+                                "mean_staleness"}
         # without a scenario the simulated clock equals the Eq. 18 round time
         assert summary["sim_time_seconds"] == pytest.approx(
             summary["total_time_seconds"])

@@ -73,8 +73,9 @@ class TestBytesPerRound:
 
         # 2. the parameters are packed server-side exactly once per fan-out
         #    (one local-update + one evaluation broadcast per round), not
-        #    once per client
-        assert stats["param_packs"] == 2 * rounds
+        #    once per client; the session broadcast contributes one more
+        #    pack for the dataset blocks, once per run
+        assert stats["param_packs"] == 2 * rounds + 1
 
         # 3. worker-side, each broadcast is deserialized at most once per
         #    worker; with clients_per_round > workers this is strictly fewer
@@ -109,3 +110,52 @@ class TestBytesPerRound:
         # the acceptance bar: at least clients_per_round x fewer pickled
         # bytes per round (the same payloads the process backend would ship)
         assert legacy >= preset.clients_per_round * pickled_with_broadcast
+
+
+class TestSessionDatasetBlocks:
+    """The dataset rides the session manifest as raw blocks, not the blob."""
+
+    def test_session_blob_excludes_dataset_arrays(self):
+        from repro.server.core import dataset_to_blocks
+
+        preset = tiny_preset()
+        dataset, model_builder, config, fleet = build_experiment(preset)
+        strategy = build_strategy("fedavg")
+        with ThreadPoolExecutor(WORKERS) as executor:
+            trainer = FederatedTrainer(strategy, dataset, model_builder,
+                                       config=config, fleet=fleet,
+                                       executor=executor)
+            handle = trainer.core._session_handle()
+            blocks, _ = dataset_to_blocks(dataset)
+            array_bytes = sum(block.nbytes for block in blocks.values())
+            try:
+                # every dataset array is on the manifest, never pickled
+                manifest_keys = {spec.key for spec in handle.manifest}
+                assert set(blocks) <= manifest_keys
+                assert sum(spec.nbytes for spec in handle.manifest) \
+                    >= array_bytes
+                # the pickled session blob shrinks to the skeleton + model +
+                # fleet/config: a small fraction of the pickled dataset
+                assert handle.blob_nbytes < _dumps_size(dataset) / 2
+                assert handle.blob_nbytes < array_bytes
+            finally:
+                trainer.close()
+
+    def test_dataset_round_trips_through_blocks(self):
+        import numpy as np
+
+        from repro.server.core import dataset_from_blocks, dataset_to_blocks
+
+        dataset, _, _, _ = build_experiment(tiny_preset())
+        blocks, skeleton = dataset_to_blocks(dataset)
+        rebuilt = dataset_from_blocks(skeleton, blocks)
+        assert rebuilt.name == dataset.name
+        assert rebuilt.num_classes == dataset.num_classes
+        assert rebuilt.input_shape == tuple(dataset.input_shape)
+        assert rebuilt.client_ids == dataset.client_ids
+        for cid in dataset.client_ids:
+            original, copy = dataset.client(cid), rebuilt.client(cid)
+            np.testing.assert_array_equal(original.train.x, copy.train.x)
+            np.testing.assert_array_equal(original.train.y, copy.train.y)
+            np.testing.assert_array_equal(original.test.x, copy.test.x)
+            np.testing.assert_array_equal(original.test.y, copy.test.y)

@@ -32,9 +32,13 @@ STATEFUL_METHODS = ["fedlps", "fedmp", "ditto"]
 #: scenarios that exercise dropout + deadline decisions on top of fan-out
 SCENARIOS = ["flaky", "deadline-tight", "trace"]
 
+#: asynchronous aggregation modes of the event-driven server core
+ASYNC_MODES = ["fedasync", "fedbuff"]
 
-def tiny_preset(scenario="ideal"):
-    return scaled(preset_for("mnist"), scenario=scenario, **TINY)
+
+def tiny_preset(scenario="ideal", aggregation="sync"):
+    return scaled(preset_for("mnist"), scenario=scenario,
+                  aggregation=aggregation, **TINY)
 
 
 def assert_histories_identical(reference, candidate):
@@ -82,6 +86,38 @@ class TestScenarioDeterminism:
         assert history.total_dropped > 0
 
 
+class TestAsyncDeterminism:
+    """The async schedulers consume completions in (finish_time, client_id)
+    order — a pure function of (seed, round, client) — never in real arrival
+    order.  Fan-out goes through ``map_unordered``, so these tests would
+    catch any leak of real completion order into aggregation."""
+
+    @pytest.mark.parametrize("aggregation", ASYNC_MODES)
+    @pytest.mark.parametrize("method", STATEFUL_METHODS)
+    def test_async_identical_serial_vs_thread(self, aggregation, method):
+        reference = run_method(method, tiny_preset(aggregation=aggregation))
+        with ThreadPoolExecutor(2) as executor:
+            candidate = run_method(method,
+                                   tiny_preset(aggregation=aggregation),
+                                   executor=executor)
+        assert_histories_identical(reference, candidate)
+
+    @pytest.mark.parametrize("aggregation", ASYNC_MODES)
+    def test_async_scenarios_identical_serial_vs_thread(self, aggregation):
+        reference = run_method("fedavg",
+                               tiny_preset("flaky", aggregation))
+        with ThreadPoolExecutor(2) as executor:
+            candidate = run_method("fedavg", tiny_preset("flaky", aggregation),
+                                   executor=executor)
+        assert_histories_identical(reference, candidate)
+
+    def test_async_actually_accumulates_staleness(self):
+        # guard against the async path degenerating to sync, which would
+        # make the cross-backend comparisons above vacuous
+        history = run_method("fedavg", tiny_preset("flaky", "fedasync"))
+        assert history.mean_staleness > 0
+
+
 class TestProcessBackendDeterminism:
     @pytest.fixture(scope="class")
     def pool(self):
@@ -100,6 +136,16 @@ class TestProcessBackendDeterminism:
         # real spawned process pool, bit-identical to the serial reference
         reference = run_method("fedavg", tiny_preset(scenario))
         candidate = run_method("fedavg", tiny_preset(scenario), executor=pool)
+        assert_histories_identical(reference, candidate)
+
+    @pytest.mark.parametrize("aggregation", ASYNC_MODES)
+    def test_async_through_processes(self, aggregation, pool):
+        # the acceptance-criteria scenario: fedasync/fedbuff histories are
+        # bit-identical between the serial reference and a real spawned
+        # process pool consuming completions out of real-time order
+        reference = run_method("fedavg", tiny_preset("flaky", aggregation))
+        candidate = run_method("fedavg", tiny_preset("flaky", aggregation),
+                               executor=pool)
         assert_histories_identical(reference, candidate)
 
     def test_sweep_jobs_through_processes(self, pool):

@@ -93,9 +93,9 @@ class TestScenarioMetrics:
         histories = run_scenario_sweep(
             ["fedavg"], ["mnist"], ["deadline-tight"],
             overrides={**TINY, "scenario": "ideal", "num_rounds": 2})
-        ((method, dataset, scenario),) = histories.keys()
-        assert (method, dataset, scenario) == ("fedavg", "mnist",
-                                               "deadline-tight")
+        ((method, dataset, scenario, aggregation),) = histories.keys()
+        assert (method, dataset, scenario, aggregation) == (
+            "fedavg", "mnist", "deadline-tight", "sync")
 
     def test_scenario_table_covers_the_grid(self):
         rows = scenario_table(dataset="mnist", methods=("fedavg",),
@@ -107,6 +107,19 @@ class TestScenarioMetrics:
         tight = next(r for r in rows if r["scenario"] == "deadline-tight")
         assert ideal["dropped_clients"] == 0
         assert tight["dropped_clients"] > 0
+
+    def test_scenario_table_shared_sync_target(self):
+        rows = scenario_table(dataset="mnist", methods=("fedavg",),
+                              scenarios=("flaky",),
+                              aggregations=("sync", "fedasync"),
+                              overrides=dict(TINY))
+        by_mode = {row["aggregation"]: row for row in rows}
+        assert set(by_mode) == {"sync", "fedasync"}
+        # the shared target is 90% of the sync run's best: the sync row
+        # always reaches its own target
+        assert by_mode["sync"]["time_to_sync_target_seconds"] is not None
+        assert by_mode["sync"]["mean_staleness"] == 0.0
+        assert by_mode["fedasync"]["mean_staleness"] > 0
 
     def test_every_named_scenario_is_runnable(self):
         for scenario in available_scenarios():

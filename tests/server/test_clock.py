@@ -1,0 +1,60 @@
+"""Unit tests for the sim clock and the completion-event queue."""
+
+import pytest
+
+from repro.server.clock import ClientEvent, EventQueue, SimClock
+from repro.federated.strategy import ClientUpdate
+from repro.systems.cost import CostBreakdown
+
+
+def event(finish_time, client_id, round_index=0, version=0):
+    update = ClientUpdate(client_id=client_id, params={}, num_examples=1,
+                          train_accuracy=0.0, train_loss=0.0)
+    return ClientEvent(finish_time=finish_time, client_id=client_id,
+                       round_index=round_index, dispatch_version=version,
+                       update=update, cost=CostBreakdown(0.0, 0.0))
+
+
+class TestEventQueue:
+    def test_orders_by_finish_time(self):
+        queue = EventQueue()
+        for finish, cid in [(3.0, 1), (1.0, 2), (2.0, 3)]:
+            queue.push(event(finish, cid))
+        assert [e.client_id for e in queue.drain()] == [2, 3, 1]
+
+    def test_ties_break_on_client_id(self):
+        queue = EventQueue()
+        for cid in (5, 1, 3):
+            queue.push(event(1.0, cid))
+        assert [e.client_id for e in queue.drain()] == [1, 3, 5]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_does_not_remove(self):
+        queue = EventQueue()
+        queue.push(event(1.0, 4))
+        assert queue.peek().client_id == 4
+        assert len(queue) == 1
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue and len(queue) == 0
+        queue.push(event(1.0, 0))
+        assert queue and len(queue) == 1
+
+
+class TestSimClock:
+    def test_advances_forward(self):
+        clock = SimClock()
+        assert clock.advance_to(2.5) == 2.5
+        assert clock.now == 2.5
+
+    def test_never_moves_backwards(self):
+        # a straggler from an old round can finish "before" the current sim
+        # time; consuming it must not rewind the clock
+        clock = SimClock()
+        clock.advance_to(5.0)
+        assert clock.advance_to(3.0) == 5.0
+        assert clock.now == 5.0

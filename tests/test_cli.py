@@ -50,6 +50,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "--backends", "gpu"])
 
+    def test_aggregation_choices(self):
+        args = build_parser().parse_args(["run", "--aggregation", "fedasync"])
+        assert args.aggregation == "fedasync"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--aggregation", "eventually"])
+
+    def test_sweep_aggregations_default_to_sync(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.aggregations == ["sync"]
+        args = build_parser().parse_args(
+            ["sweep", "--aggregations", "sync", "fedbuff"])
+        assert args.aggregations == ["sync", "fedbuff"]
+
 
 class TestCommands:
     def test_list_prints_methods(self, capsys):
@@ -91,6 +104,22 @@ class TestCommands:
                      "--backend", "thread", "--workers", "2"] + TINY) == 0
         thread_out = capsys.readouterr().out
         assert thread_out == serial_out
+
+    def test_run_with_fedasync_aggregation(self, capsys):
+        assert main(["run", "--method", "fedavg", "--dataset", "mnist",
+                     "--scenario", "flaky", "--aggregation", "fedasync"]
+                    + TINY) == 0
+        out = capsys.readouterr().out
+        assert "fedasync" in out and "accuracy" in out
+
+    def test_sweep_grids_over_aggregations(self, capsys, tmp_path):
+        argv = ["sweep", "--datasets", "mnist", "--methods", "fedavg",
+                "--scenarios", "flaky", "--aggregations", "sync", "fedasync",
+                "--cache-dir", str(tmp_path / "cache")] + TINY
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "fedasync" in out
+        assert "2 miss(es)" in out
 
     def test_sweep_writes_and_reuses_cache(self, capsys, tmp_path):
         cache_dir = str(tmp_path / "cache")
