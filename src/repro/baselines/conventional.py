@@ -8,7 +8,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -70,15 +70,20 @@ class Oort(Strategy):
         self.exploration_fraction = exploration_fraction
         self.speed_weight = speed_weight
         self._last_loss: Dict[int, float] = {}
+        self._num_examples: Dict[int, int] = {}
 
     def setup(self, context: StrategyContext) -> None:
         super().setup(context)
         self._last_loss = {}
+        self._num_examples = {}
 
-    def select_clients(self, round_index: int) -> List[int]:
+    def select_clients(self, round_index: int,
+                       count: Optional[int] = None) -> List[int]:
         context = self._require_context()
         ids = context.client_ids
-        count = min(context.config.clients_per_round, len(ids))
+        if count is None:
+            count = context.config.clients_per_round
+        count = min(count, len(ids))
         explored = [cid for cid in ids if cid in self._last_loss]
         unexplored = [cid for cid in ids if cid not in self._last_loss]
         n_explore = min(len(unexplored),
@@ -102,14 +107,19 @@ class Oort(Strategy):
         return sorted(chosen)
 
     def _utility(self, context: StrategyContext, client_id: int) -> float:
+        # explored clients' sizes were recorded at post_round (identical to
+        # num_train_examples) and speed comes from the device fleet, so
+        # scoring never materializes a client's data shard — selection on a
+        # lazy fleet stays O(cohort) in shard builds
         statistical = self._last_loss.get(client_id, 0.0) * np.sqrt(
-            context.clients[client_id].num_train_examples)
-        speed = context.clients[client_id].capability
+            self._num_examples.get(client_id, 0))
+        speed = context.fleet[client_id].capability
         return float(statistical + self.speed_weight * speed)
 
     def post_round(self, round_index, updates, costs) -> None:
         for update in updates:
             self._last_loss[update.client_id] = update.train_loss
+            self._num_examples[update.client_id] = update.num_examples
 
 
 class REFL(Strategy):
@@ -133,13 +143,19 @@ class REFL(Strategy):
 
     def setup(self, context: StrategyContext) -> None:
         super().setup(context)
-        self._last_selected = {cid: -1 for cid in context.client_ids}
+        # sparse: only clients that participated have an entry; everyone
+        # else reads the -1 default, identical to the old dense pre-fill
+        self._last_selected = {}
 
-    def select_clients(self, round_index: int) -> List[int]:
+    def select_clients(self, round_index: int,
+                       count: Optional[int] = None) -> List[int]:
         context = self._require_context()
         ids = context.client_ids
-        count = min(context.config.clients_per_round, len(ids))
-        staleness = {cid: round_index - self._last_selected[cid] for cid in ids}
+        if count is None:
+            count = context.config.clients_per_round
+        count = min(count, len(ids))
+        staleness = {cid: round_index - self._last_selected.get(cid, -1)
+                     for cid in ids}
         jitter = {cid: float(context.rng.random()) for cid in ids}
         ranked = sorted(ids, key=lambda cid: (staleness[cid], jitter[cid]),
                         reverse=True)

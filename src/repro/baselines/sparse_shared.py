@@ -273,18 +273,18 @@ class FedMP(SharedSparseStrategy):
         self.arms = tuple(sorted(arms, reverse=True))
         self.exploration = exploration
 
-    def setup(self, context: StrategyContext) -> None:
+    def init_client_state(self, client: Client) -> None:
         # The bandit bookkeeping lives in ``client.state`` (not on the
         # strategy) so that parallel local updates ship it back to the server
-        # like every other per-client quantity.
-        super().setup(context)
+        # like every other per-client quantity.  Initialization is pure per
+        # client, so a lazy fleet can defer it to first participation.
+        context = self._require_context()
         n = len(self.arms)
         baseline = 100.0 / max(context.dataset.num_classes, 2)
-        for client in context.clients.values():
-            client.state["fedmp_counts"] = np.zeros(n)
-            client.state["fedmp_rewards"] = np.zeros(n)
-            client.state["fedmp_last_arm"] = None
-            client.state["fedmp_last_accuracy"] = baseline
+        client.state["fedmp_counts"] = np.zeros(n)
+        client.state["fedmp_rewards"] = np.zeros(n)
+        client.state["fedmp_last_arm"] = None
+        client.state["fedmp_last_accuracy"] = baseline
 
     def client_ratio(self, client: Client, round_index: int) -> float:
         counts = client.state["fedmp_counts"]
@@ -311,9 +311,9 @@ class FedMP(SharedSparseStrategy):
 
     def post_round(self, round_index: int, updates: List[ClientUpdate],
                    costs: Mapping[int, CostBreakdown]) -> None:
-        context = self._require_context()
+        self._require_context()
         for update in updates:
-            state = context.clients[update.client_id].state
+            state = self._client_state(update.client_id)
             arm = state["fedmp_last_arm"]
             if arm is None:
                 continue

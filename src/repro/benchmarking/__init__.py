@@ -3,6 +3,8 @@
 from .fanout import (BENCH_METHOD, fanout_preset, format_bench_report,
                      measure_aggregation_modes, measure_fanout_bytes,
                      run_fanout_bench)
+from .fleet import (fleet_preset, format_fleet_report, measure_construction,
+                    measure_smoke, run_fleet_bench)
 
 __all__ = [
     "BENCH_METHOD",
@@ -11,4 +13,9 @@ __all__ = [
     "measure_aggregation_modes",
     "measure_fanout_bytes",
     "run_fanout_bench",
+    "fleet_preset",
+    "format_fleet_report",
+    "measure_construction",
+    "measure_smoke",
+    "run_fleet_bench",
 ]

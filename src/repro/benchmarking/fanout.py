@@ -125,7 +125,10 @@ def measure_fanout_bytes(preset) -> Dict[str, float]:
     The session broadcast's dataset blocks are a **once-per-run** payload;
     they are reported separately (``session_raw_bytes``) and excluded from
     ``shared_memory_raw_per_round`` so that cell keeps measuring per-round
-    traffic and stays comparable across scales and PRs.
+    traffic and stays comparable across scales and PRs.  Since the virtual
+    client fleet became the default, the session of a generated federation
+    carries only its spec — ``session_raw_bytes`` is 0 because no dataset
+    arrays cross the boundary at all (workers rebuild shards per cohort).
     """
     from ..experiments.presets import build_experiment
     from ..server.core import dataset_to_blocks

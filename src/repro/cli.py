@@ -46,6 +46,12 @@ from .server import available_aggregations
 SUMMARY_COLUMNS = ["accuracy", "total_flops", "total_time_seconds",
                    "sim_time_seconds", "time_to_accuracy_seconds"]
 
+#: fan-out bench defaults, shared by build_parser and the --fleet-scale
+#: clash guard so the two can never drift apart
+BENCH_SCALE_DEFAULT = 1.0
+BENCH_WORKERS_DEFAULT = [1, 2, 4]
+BENCH_REPEATS_DEFAULT = 2
+
 
 def _preset_overrides(args: argparse.Namespace) -> dict:
     overrides = {}
@@ -148,16 +154,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser = sub.add_parser(
         "bench", help="time round fan-out across executor backends and "
                       "record the BENCH_fanout.json trajectory")
-    bench_parser.add_argument("--scale", type=float, default=1.0,
+    bench_parser.add_argument("--scale", type=float,
+                              default=BENCH_SCALE_DEFAULT,
                               help="workload scale factor (1.0 = the CI "
                                    "smoke workload)")
     bench_parser.add_argument("--backends", nargs="+",
                               default=list(available_backends()),
                               choices=available_backends())
     bench_parser.add_argument("--workers-list", nargs="+", type=int,
-                              default=[1, 2, 4],
+                              default=list(BENCH_WORKERS_DEFAULT),
                               help="worker counts to time for pool backends")
-    bench_parser.add_argument("--repeats", type=int, default=2,
+    bench_parser.add_argument("--repeats", type=int,
+                              default=BENCH_REPEATS_DEFAULT,
                               help="timed runs per backend/worker cell "
                                    "(after one untimed warm-up run)")
     bench_parser.add_argument("--aggregations", nargs="+",
@@ -166,13 +174,25 @@ def build_parser() -> argparse.ArgumentParser:
                               help="aggregation modes to profile (wall-clock "
                                    "+ sim-time-to-accuracy under the flaky "
                                    "scenario)")
-    bench_parser.add_argument("--output", default="BENCH_fanout.json",
-                              help="where to write the JSON report "
-                                   "('' skips writing)")
+    bench_parser.add_argument("--output", default=None,
+                              help="where to write the fan-out JSON report "
+                                   "(default BENCH_fanout.json; '' skips "
+                                   "writing; incompatible with "
+                                   "--fleet-scale, whose report path is "
+                                   "--fleet-output)")
     bench_parser.add_argument("--check", action="store_true",
                               help="exit non-zero if the process backend is "
                                    "slower than serial by more than the "
                                    "recorded spawn overhead")
+    bench_parser.add_argument("--fleet-scale", type=float, default=None,
+                              help="run the fleet-scale axis instead: "
+                                   "construction cost over a 1k/10k/100k "
+                                   "fleet ladder (x SCALE) plus a 1M-client "
+                                   "(x SCALE) selection + 2-round smoke, "
+                                   "written to --fleet-output")
+    bench_parser.add_argument("--fleet-output", default="BENCH_fleet.json",
+                              help="where to write the fleet-scale JSON "
+                                   "report ('' skips writing)")
 
     sub.add_parser("list", help="list available methods")
     return parser
@@ -187,15 +207,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "bench":
+        if args.fleet_scale is not None:
+            # the fleet axis has its own knobs; silently dropping fan-out
+            # flags would look like they were honored (e.g. a missing
+            # report file, or an unexpectedly long 100k/1M run)
+            fanout_only = {
+                "--output": args.output is not None,
+                "--scale": args.scale != BENCH_SCALE_DEFAULT,
+                "--backends": args.backends != list(available_backends()),
+                "--workers-list": args.workers_list != BENCH_WORKERS_DEFAULT,
+                "--repeats": args.repeats != BENCH_REPEATS_DEFAULT,
+                "--aggregations": args.aggregations
+                                  != list(available_aggregations()),
+            }
+            clashes = [flag for flag, used in fanout_only.items() if used]
+            if clashes:
+                print(f"bench --fleet-scale ignores {', '.join(clashes)} — "
+                      "those apply only to the fan-out bench (the fleet "
+                      "axis writes its report to --fleet-output)",
+                      flush=True)
+                return 2
+            from .benchmarking import format_fleet_report, run_fleet_bench
+            report = run_fleet_bench(scale=args.fleet_scale,
+                                     output=args.fleet_output or None)
+            print(format_fleet_report(report))
+            if args.fleet_output:
+                print(f"# report written to {args.fleet_output}")
+            if args.check and not report["gate"]["pass"]:
+                return 1
+            return 0
+        output = args.output if args.output is not None else "BENCH_fanout.json"
         from .benchmarking import format_bench_report, run_fanout_bench
         report = run_fanout_bench(scale=args.scale, backends=args.backends,
                                   worker_counts=args.workers_list,
                                   repeats=args.repeats,
                                   aggregations=args.aggregations,
-                                  output=args.output or None)
+                                  output=output or None)
         print(format_bench_report(report))
-        if args.output:
-            print(f"# report written to {args.output}")
+        if output:
+            print(f"# report written to {output}")
         if args.check and not report["gate"]["pass"]:
             return 1
         return 0

@@ -74,34 +74,44 @@ class FedLPS(Strategy):
             self.name = f"fedlps[{pattern_mode}]"
 
     # ------------------------------------------------------------ lifecycle
-    def setup(self, context: StrategyContext) -> None:
-        super().setup(context)
+    def init_client_state(self, client: Client) -> None:
+        """One client's persistent state, pure in ``(seed, client_id)``.
+
+        Runs once per client — at setup with an eager fleet, on first
+        materialization with a lazy one; both orders produce identical
+        state because nothing here depends on other clients.
+        """
+        context = self._require_context()
         config = context.config
-        selection_fraction = config.clients_per_round / max(len(context.clients), 1)
+        # fleet size from the dataset, NOT len(context.clients): a broadcast
+        # worker initializing a never-participating evaluation client holds
+        # a single-client context map, but the session dataset always knows
+        # the full federation size
+        num_clients = max(context.dataset.num_clients, 1)
+        selection_fraction = config.clients_per_round / num_clients
         baseline_accuracy = 100.0 / max(context.dataset.num_classes, 2)
-        for client_id, client in context.clients.items():
-            state = client.state
-            state["importance"] = None
-            state["prev_accuracy"] = baseline_accuracy
-            state["personal_params"] = None
-            state["personal_pattern"] = None
-            if self.ratio_policy == "pucbv":
-                agent = PUCBVAgent(
-                    total_rounds=config.num_rounds,
-                    num_clients=len(context.clients),
-                    selection_fraction=selection_fraction,
-                    num_initial_partitions=self.num_initial_partitions,
-                    accuracy_threshold=self.accuracy_threshold,
-                    rho=self.rho, ratio_min=self.ratio_min,
-                    seed=config.seed * 7919 + client_id)
-                state["agent"] = agent
-                state["ratio"] = agent.initial_ratio()
-            elif self.ratio_policy == "fixed":
-                state["agent"] = None
-                state["ratio"] = self.fixed_ratio
-            else:  # capability-controlled rigid rule
-                state["agent"] = None
-                state["ratio"] = affordable_ratio(client.capability)
+        state = client.state
+        state["importance"] = None
+        state["prev_accuracy"] = baseline_accuracy
+        state["personal_params"] = None
+        state["personal_pattern"] = None
+        if self.ratio_policy == "pucbv":
+            agent = PUCBVAgent(
+                total_rounds=config.num_rounds,
+                num_clients=num_clients,
+                selection_fraction=selection_fraction,
+                num_initial_partitions=self.num_initial_partitions,
+                accuracy_threshold=self.accuracy_threshold,
+                rho=self.rho, ratio_min=self.ratio_min,
+                seed=config.seed * 7919 + client.client_id)
+            state["agent"] = agent
+            state["ratio"] = agent.initial_ratio()
+        elif self.ratio_policy == "fixed":
+            state["agent"] = None
+            state["ratio"] = self.fixed_ratio
+        else:  # capability-controlled rigid rule
+            state["agent"] = None
+            state["ratio"] = affordable_ratio(client.capability)
 
     # --------------------------------------------------------- local update
     def local_update(self, round_index: int, client: Client) -> ClientUpdate:
@@ -212,10 +222,9 @@ class FedLPS(Strategy):
     def post_round(self, round_index: int, updates: List[ClientUpdate],
                    costs: Mapping[int, CostBreakdown]) -> None:
         """Online sparse-ratio decision for the clients that participated."""
-        context = self._require_context()
+        self._require_context()
         for update in updates:
-            client = context.clients[update.client_id]
-            state = client.state
+            state = self._client_state(update.client_id)
             accuracy_percent = 100.0 * update.train_accuracy
             previous = state.get("prev_accuracy", accuracy_percent)
             if self.ratio_policy == "pucbv":

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import (Callable, Dict, Iterator, List, Mapping, Optional,
+                    Tuple)
 
 import numpy as np
 
@@ -47,15 +50,30 @@ class Dataset:
 
     def split(self, test_fraction: float, *, seed: int = 0) -> Tuple["Dataset", "Dataset"]:
         """Random train/test split preserving no particular class balance."""
-        if not 0.0 < test_fraction < 1.0:
-            raise ValueError("test_fraction must be in (0, 1)")
-        rng = np.random.default_rng(seed)
-        order = rng.permutation(len(self))
-        n_test = max(1, int(round(test_fraction * len(self))))
-        test_idx, train_idx = order[:n_test], order[n_test:]
-        if len(train_idx) == 0:
-            raise ValueError("split left no training examples")
+        train_idx, test_idx = split_indices(len(self), test_fraction,
+                                            seed=seed)
         return self.subset(train_idx), self.subset(test_idx)
+
+
+def split_indices(count: int, test_fraction: float, *,
+                  seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """The ``(train, test)`` index permutation behind every shard split.
+
+    Single source of truth for the split algorithm: :meth:`Dataset.split`
+    applies it to materialized rows and the virtual fleet's
+    ``split_client_shard`` composes it with assignment indices — sharing
+    this function is what keeps the two paths bit-identical by
+    construction.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(count)
+    n_test = max(1, int(round(test_fraction * count)))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    if len(train_idx) == 0:
+        raise ValueError("split left no training examples")
+    return train_idx, test_idx
 
 
 class DataLoader:
@@ -108,12 +126,143 @@ class ClientData:
         return len(self.train)
 
 
+class BoundedLRU:
+    """A small bounded LRU over an ``OrderedDict``.
+
+    The one cache-eviction policy shared by the lazy layers (shard map,
+    client-facade cache): touch on hit, insert then evict oldest while
+    over the bound.  Keeping it in one place keeps the O(cohort) memory
+    accounting identical everywhere it is used.
+    """
+
+    def __init__(self, bound: int) -> None:
+        if bound <= 0:
+            raise ValueError("cache bound must be positive")
+        self.bound = bound
+        self._entries: "OrderedDict" = OrderedDict()
+
+    def get(self, key):
+        """The cached value (refreshed to most-recent), or None."""
+        hit = self._entries.get(key)
+        if hit is not None:
+            self._entries.move_to_end(key)
+        return hit
+
+    def put(self, key, value) -> None:
+        self._entries[key] = value
+        self._evict()
+
+    def resize(self, bound: int) -> None:
+        if bound <= 0:
+            raise ValueError("cache bound must be positive")
+        self.bound = bound
+        self._evict()
+
+    def _evict(self) -> None:
+        while len(self._entries) > self.bound:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+
+class LazyShardMap(MappingABC):
+    """A ``Mapping[int, ClientData]`` that builds shards on demand.
+
+    Client ids are the contiguous range ``[0, num_clients)``; ``builder`` is
+    a pure function of the client id, so any shard can be materialized at any
+    time (and on any worker) with identical contents.  Materialized shards
+    live in an LRU cache of ``cache_size`` entries, bounding memory by the
+    working set (the dispatched cohort plus evaluation clients) instead of
+    the fleet size.  ``materializations`` counts builder invocations — tests
+    use it to prove untouched clients are never built.  ``materialized_ids``
+    records which clients were ever built; like the sparse state store it
+    grows with the *cumulative touched* set (a few bytes per touched
+    client), never with the fleet size.
+    """
+
+    def __init__(self, num_clients: int,
+                 builder: Callable[[int], ClientData], *,
+                 cache_size: int = 256) -> None:
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        self.num_clients = num_clients
+        self._builder = builder
+        self._cache = BoundedLRU(cache_size)
+        self._ids: Optional[List[int]] = None
+        self.materializations = 0
+        self.materialized_ids: set = set()
+
+    @property
+    def cache_size(self) -> int:
+        return self._cache.bound
+
+    # ------------------------------------------------------------- mapping
+    def __getitem__(self, client_id: int) -> ClientData:
+        if not 0 <= client_id < self.num_clients:
+            raise KeyError(f"no client with id {client_id}")
+        hit = self._cache.get(client_id)
+        if hit is not None:
+            return hit
+        shard = self._builder(client_id)
+        self.materializations += 1
+        self.materialized_ids.add(client_id)
+        self._cache.put(client_id, shard)
+        return shard
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.num_clients))
+
+    def __len__(self) -> int:
+        return self.num_clients
+
+    def __contains__(self, client_id: object) -> bool:
+        # accept numpy integer ids too, like a plain-dict shard mapping does
+        return (isinstance(client_id, (int, np.integer))
+                and 0 <= client_id < self.num_clients)
+
+    def resize(self, cache_size: int) -> None:
+        """Re-bound the LRU (evicting down if shrunk)."""
+        self._cache.resize(cache_size)
+
+    @property
+    def client_ids(self) -> List[int]:
+        if self._ids is None:
+            self._ids = list(range(self.num_clients))
+        return self._ids
+
+
+def mapping_client_ids(clients: Mapping) -> List[int]:
+    """Sorted client ids of any client mapping, cached when the mapping can.
+
+    Lazy mappings return their *shared* cached list (copying a million-id
+    list per selection round would defeat the O(cohort) contract) — callers
+    must treat the result as immutable and copy before sorting/shuffling
+    in place.
+    """
+    ids = getattr(clients, "client_ids", None)
+    if ids is not None:
+        return ids
+    return sorted(clients.keys())
+
+
 @dataclass
 class FederatedDataset:
-    """All client shards plus dataset-level metadata."""
+    """All client shards plus dataset-level metadata.
+
+    ``clients`` is any ``Mapping[int, ClientData]`` — a plain dict for the
+    classic eager construction, or a :class:`LazyShardMap` for virtual
+    federations that materialize shards per cohort.
+    """
 
     name: str
-    clients: Dict[int, ClientData]
+    clients: Mapping[int, ClientData]
     num_classes: int
     input_shape: Tuple[int, ...]
     metadata: Dict[str, object] = field(default_factory=dict)
@@ -124,7 +273,7 @@ class FederatedDataset:
 
     @property
     def client_ids(self) -> List[int]:
-        return sorted(self.clients.keys())
+        return mapping_client_ids(self.clients)
 
     def client(self, client_id: int) -> ClientData:
         if client_id not in self.clients:
@@ -132,8 +281,10 @@ class FederatedDataset:
         return self.clients[client_id]
 
     def total_train_examples(self) -> int:
-        return int(sum(len(shard.train) for shard in self.clients.values()))
+        """Total |D_k| over the fleet (materializes every shard: O(N))."""
+        return int(sum(len(self.clients[cid].train) for cid in self.client_ids))
 
     def average_local_accuracy_weights(self) -> Dict[int, float]:
         """Per-client weights proportional to local train size (|D_k|)."""
-        return {cid: float(len(shard.train)) for cid, shard in self.clients.items()}
+        return {cid: float(len(self.clients[cid].train))
+                for cid in self.client_ids}

@@ -73,6 +73,49 @@ def make_image_classification(spec: ImageSpec, num_examples: int, *,
     return Dataset(images.astype(np.float64), labels.astype(np.int64))
 
 
+def image_prototypes(spec: ImageSpec, *, seed: int = 0) -> np.ndarray:
+    """The class prototypes shared by every client of one federation.
+
+    A pure function of ``(spec, seed)``: the prototypes draw from a fresh
+    ``default_rng(seed)`` and nothing else, so eager and lazy shard builders
+    agree bit-for-bit.
+    """
+    rng = np.random.default_rng(seed)
+    return np.stack([
+        spec.prototype_scale * _smooth_prototype(rng, spec.channels, spec.image_size)
+        for _ in range(spec.num_classes)
+    ])
+
+
+def personalized_image_shard(spec: ImageSpec, client_id: int,
+                             classes_per_client: int,
+                             examples_per_client: int,
+                             prototypes: np.ndarray, *,
+                             style_scale: float = 1.0,
+                             seed: int = 0) -> Dataset:
+    """One client's personalized shard, pure in ``(seed, client_id)``.
+
+    This is the loop body of :func:`make_personalized_image_shards` factored
+    out so a virtual fleet can materialize a single client without touching
+    the other ``num_clients - 1``.
+    """
+    if examples_per_client <= 0:
+        raise ValueError("examples_per_client must be positive")
+    if not 1 <= classes_per_client <= spec.num_classes:
+        raise ValueError(
+            f"classes_per_client must be in [1, {spec.num_classes}]")
+    client_rng = np.random.default_rng(seed * 99_991 + client_id + 17)
+    classes = client_rng.choice(spec.num_classes, size=classes_per_client,
+                                replace=False)
+    style = style_scale * _smooth_prototype(client_rng, spec.channels,
+                                            spec.image_size)
+    labels = client_rng.choice(classes, size=examples_per_client)
+    noise = client_rng.standard_normal(
+        (examples_per_client, spec.channels, spec.image_size, spec.image_size))
+    images = prototypes[labels] + style[None] + spec.noise_scale * noise
+    return Dataset(images.astype(np.float64), labels.astype(np.int64))
+
+
 def make_personalized_image_shards(spec: ImageSpec, num_clients: int,
                                    classes_per_client: int,
                                    examples_per_client: int, *,
@@ -91,27 +134,11 @@ def make_personalized_image_shards(spec: ImageSpec, num_clients: int,
     """
     if num_clients <= 0 or examples_per_client <= 0:
         raise ValueError("num_clients and examples_per_client must be positive")
-    if not 1 <= classes_per_client <= spec.num_classes:
-        raise ValueError(
-            f"classes_per_client must be in [1, {spec.num_classes}]")
-    rng = np.random.default_rng(seed)
-    prototypes = np.stack([
-        spec.prototype_scale * _smooth_prototype(rng, spec.channels, spec.image_size)
-        for _ in range(spec.num_classes)
-    ])
-    shards: List[Dataset] = []
-    for client in range(num_clients):
-        client_rng = np.random.default_rng(seed * 99_991 + client + 17)
-        classes = client_rng.choice(spec.num_classes, size=classes_per_client,
-                                    replace=False)
-        style = style_scale * _smooth_prototype(client_rng, spec.channels,
-                                                spec.image_size)
-        labels = client_rng.choice(classes, size=examples_per_client)
-        noise = client_rng.standard_normal(
-            (examples_per_client, spec.channels, spec.image_size, spec.image_size))
-        images = prototypes[labels] + style[None] + spec.noise_scale * noise
-        shards.append(Dataset(images.astype(np.float64), labels.astype(np.int64)))
-    return shards
+    prototypes = image_prototypes(spec, seed=seed)
+    return [personalized_image_shard(spec, client, classes_per_client,
+                                     examples_per_client, prototypes,
+                                     style_scale=style_scale, seed=seed)
+            for client in range(num_clients)]
 
 
 def synthetic_mnist(num_examples: int = 2000, *, seed: int = 0) -> Dataset:
@@ -158,6 +185,30 @@ def _user_transition_matrix(rng: np.random.Generator, base: np.ndarray,
     return mixed / mixed.sum(axis=1, keepdims=True)
 
 
+def reddit_base_chain(spec: TextSpec, *, seed: int = 0) -> np.ndarray:
+    """The shared base Markov chain of one federation (pure in the seed)."""
+    rng = np.random.default_rng(seed)
+    return rng.dirichlet(np.full(spec.vocab_size, spec.base_concentration),
+                         size=spec.vocab_size)
+
+
+def reddit_user_shard(user: int, base: np.ndarray, spec: TextSpec,
+                      examples_per_user: int, *, seed: int = 0) -> Dataset:
+    """One user's next-word shard, pure in ``(seed, user)`` given ``base``."""
+    user_rng = np.random.default_rng(seed * 100_003 + user + 1)
+    transition = _user_transition_matrix(user_rng, base, spec)
+    count = int(np.clip(
+        round(examples_per_user * float(np.exp(user_rng.normal(0.0, 0.4)))),
+        spec.seq_len + 2, 4 * examples_per_user))
+    tokens = np.empty(count + spec.seq_len + 1, dtype=np.int64)
+    tokens[0] = user_rng.integers(0, spec.vocab_size)
+    for t in range(1, len(tokens)):
+        tokens[t] = user_rng.choice(spec.vocab_size, p=transition[tokens[t - 1]])
+    windows = np.stack([tokens[i:i + spec.seq_len] for i in range(count)])
+    targets = tokens[spec.seq_len:spec.seq_len + count]
+    return Dataset(windows, targets)
+
+
 def synthetic_reddit_users(num_users: int, examples_per_user: int = 120, *,
                            spec: TextSpec | None = None,
                            seed: int = 0) -> Tuple[List[Dataset], TextSpec]:
@@ -171,23 +222,10 @@ def synthetic_reddit_users(num_users: int, examples_per_user: int = 120, *,
     if num_users <= 0:
         raise ValueError("num_users must be positive")
     spec = spec or TextSpec()
-    rng = np.random.default_rng(seed)
-    base = rng.dirichlet(np.full(spec.vocab_size, spec.base_concentration),
-                         size=spec.vocab_size)
-    datasets: List[Dataset] = []
-    for user in range(num_users):
-        user_rng = np.random.default_rng(seed * 100_003 + user + 1)
-        transition = _user_transition_matrix(user_rng, base, spec)
-        count = int(np.clip(
-            round(examples_per_user * float(np.exp(user_rng.normal(0.0, 0.4)))),
-            spec.seq_len + 2, 4 * examples_per_user))
-        tokens = np.empty(count + spec.seq_len + 1, dtype=np.int64)
-        tokens[0] = user_rng.integers(0, spec.vocab_size)
-        for t in range(1, len(tokens)):
-            tokens[t] = user_rng.choice(spec.vocab_size, p=transition[tokens[t - 1]])
-        windows = np.stack([tokens[i:i + spec.seq_len] for i in range(count)])
-        targets = tokens[spec.seq_len:spec.seq_len + count]
-        datasets.append(Dataset(windows, targets))
+    base = reddit_base_chain(spec, seed=seed)
+    datasets = [reddit_user_shard(user, base, spec, examples_per_user,
+                                  seed=seed)
+                for user in range(num_users)]
     return datasets, spec
 
 

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional
 
 from ..data import FederatedDataset, build_federated_dataset
-from ..federated import AGGREGATIONS, FederatedConfig
+from ..federated import AGGREGATIONS, FederatedConfig, FleetConfig
 from ..models import build_model_for_dataset
 from ..nn.model import Sequential
 from ..scenarios import available_scenarios, build_scenario
@@ -49,6 +49,12 @@ class ExperimentPreset:
     #: server aggregation mode (see ``repro.server.scheduler``): "sync",
     #: "fedasync" or "fedbuff" — keys the result cache like the scenario
     aggregation: str = "sync"
+    #: lazy O(cohort) fleet materialization (the default); False retains the
+    #: eager build-everything-up-front path.  Cache-keyed like every field.
+    lazy_fleet: bool = True
+    #: personalized-evaluation cap (``None`` = every client, the paper's
+    #: metric; large-fleet presets sample a fixed deterministic subset)
+    eval_clients: Optional[int] = None
     seed: int = 0
     extra_config: Dict[str, float] = field(default_factory=dict)
 
@@ -62,14 +68,26 @@ DEFAULT_PRESETS: Dict[str, ExperimentPreset] = {
     # (they use 8 with gradient clipping for the LSTM model)
     "reddit": ExperimentPreset(dataset="reddit", learning_rate=1.5,
                                examples_per_client=80, classes_per_client=2),
+    # cross-device-scale virtual fleets: construction is O(cohort), so the
+    # fleet size costs (almost) nothing — only the dispatched cohorts and
+    # the capped evaluation subset are ever materialized
+    "mnist-100k": ExperimentPreset(
+        dataset="mnist", num_clients=100_000, examples_per_client=24,
+        num_rounds=3, clients_per_round=32, local_iterations=2,
+        eval_clients=64),
+    "mnist-1m": ExperimentPreset(
+        dataset="mnist", num_clients=1_000_000, examples_per_client=16,
+        num_rounds=2, clients_per_round=16, local_iterations=1,
+        eval_clients=32),
 }
 
 
 def preset_for(dataset: str) -> ExperimentPreset:
-    """The default preset for one of the five paper datasets."""
+    """The preset for a paper dataset or a named large-fleet variant."""
     key = dataset.lower()
     if key not in DEFAULT_PRESETS:
-        raise ValueError(f"unknown dataset {dataset!r}; choose from {DATASETS}")
+        raise ValueError(f"unknown dataset or preset {dataset!r}; choose "
+                         f"from {sorted(DEFAULT_PRESETS)}")
     return DEFAULT_PRESETS[key]
 
 
@@ -97,7 +115,8 @@ def build_experiment(preset: ExperimentPreset
         preset.dataset, preset.num_clients,
         classes_per_client=preset.classes_per_client,
         examples_per_client=preset.examples_per_client,
-        style_scale=preset.style_scale, seed=preset.seed)
+        style_scale=preset.style_scale, seed=preset.seed,
+        lazy=preset.lazy_fleet)
     config = FederatedConfig(
         num_rounds=preset.num_rounds,
         clients_per_round=preset.clients_per_round,
@@ -111,11 +130,14 @@ def build_experiment(preset: ExperimentPreset
                                 num_rounds=preset.num_rounds,
                                 seed=preset.seed),
         aggregation=preset.aggregation,
+        fleet=FleetConfig(lazy=preset.lazy_fleet,
+                          eval_clients=preset.eval_clients),
         extra=dict(preset.extra_config))
     fleet = sample_device_fleet(
         preset.num_clients,
         levels=HETEROGENEITY_PRESETS[preset.heterogeneity],
-        dynamic=preset.dynamic_resources, seed=preset.seed)
+        dynamic=preset.dynamic_resources, seed=preset.seed,
+        lazy=preset.lazy_fleet)
 
     def model_builder() -> Sequential:
         return build_model_for_dataset(preset.dataset, seed=preset.seed)

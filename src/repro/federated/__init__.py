@@ -3,8 +3,9 @@
 from .aggregation import (aggregate_residuals, fedavg, masked_average,
                           staleness_weighted_average)
 from .client import Client
-from .config import AGGREGATIONS, FederatedConfig
+from .config import AGGREGATIONS, FederatedConfig, FleetConfig
 from .evaluation import average_personalized_accuracy, evaluate_params
+from .fleet import ClientFleet, FleetStateStore, bind_client_state_initializer
 from .local import LocalUpdateResult, iterate_batches, train_locally
 from .strategy import ClientUpdate, Strategy, StrategyContext
 from .trainer import FederatedTrainer, run_federated
@@ -12,6 +13,10 @@ from .trainer import FederatedTrainer, run_federated
 __all__ = [
     "Client",
     "FederatedConfig",
+    "FleetConfig",
+    "ClientFleet",
+    "FleetStateStore",
+    "bind_client_state_initializer",
     "AGGREGATIONS",
     "Strategy",
     "StrategyContext",

@@ -15,6 +15,40 @@ AGGREGATIONS = ("sync", "fedasync", "fedbuff")
 
 
 @dataclass
+class FleetConfig:
+    """How the server materializes the client fleet.
+
+    ``lazy=True`` (the default) keeps fleet construction O(cohort): client
+    shards, device profiles and per-client state come into existence only
+    when a client is dispatched (or evaluated).  ``shard_cache`` bounds
+    each of the two pinning layers — the dataset's materialized-shard LRU
+    and the server's client-facade LRU — so resident shard memory is at
+    most 2x ``shard_cache`` in the worst case (disjoint working sets),
+    and typically ~1x because facades reference the same shard objects.
+    ``lazy=False`` retains the historical eager path — every client object
+    built up front — which is bit-identical in results and useful for
+    byte-level comparisons and eager validation.
+
+    ``eval_clients`` caps the personalized-evaluation sweep, which is
+    otherwise O(num_clients) per evaluated round: ``None`` evaluates every
+    client (the paper's metric, the default), ``k > 0`` evaluates a fixed
+    deterministic subset of ``k`` clients drawn once from the run seed, and
+    ``0`` skips personalized evaluation entirely (reported accuracy 0.0) —
+    for fleet-scale smoke runs where even one sweep would dominate.
+    """
+
+    lazy: bool = True
+    shard_cache: int = 256
+    eval_clients: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.shard_cache <= 0:
+            raise ValueError("shard_cache must be positive")
+        if self.eval_clients is not None and self.eval_clients < 0:
+            raise ValueError("eval_clients must be non-negative or None")
+
+
+@dataclass
 class FederatedConfig:
     """Hyper-parameters shared by every strategy.
 
@@ -61,6 +95,9 @@ class FederatedConfig:
     # None picks the scheduler default (clients_per_round for fedasync,
     # buffer_size for fedbuff)
     async_arrivals_per_round: Optional[int] = None
+    # client-fleet materialization: lazy O(cohort) fleets (default) vs the
+    # retained eager path, shard-cache bound, evaluation-sweep cap
+    fleet: FleetConfig = field(default_factory=FleetConfig)
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -89,3 +126,5 @@ class FederatedConfig:
         if (self.async_arrivals_per_round is not None
                 and self.async_arrivals_per_round <= 0):
             raise ValueError("async_arrivals_per_round must be positive")
+        if not isinstance(self.fleet, FleetConfig):
+            raise TypeError("fleet must be a FleetConfig")

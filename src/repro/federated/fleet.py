@@ -1,0 +1,300 @@
+"""The virtual client fleet: O(cohort) lazy materialization of clients.
+
+Before this module, every layer of the simulator eagerly materialized the
+whole federation at construction time: the dataset copied per-client arrays
+into shards, the device sampler built every :class:`DeviceProfile` and the
+server held a ``Dict[int, Client]`` of live objects — O(num_clients) memory
+and start-up even though a round only ever touches ``clients_per_round``
+clients.  A :class:`ClientFleet` replaces that dictionary with a lazy view:
+
+* **shards** come from the dataset's client mapping — a plain dict for an
+  eager federation, or a :class:`~repro.data.dataset.LazyShardMap` whose
+  builder is a pure function of ``(seed, client_id)`` for a virtual one;
+* **device profiles** come from the device fleet, likewise eager or
+  :class:`~repro.systems.devices.VirtualDeviceFleet`;
+* **per-client state** lives in a sparse :class:`FleetStateStore` that only
+  holds entries for clients that have ever participated; strategies
+  initialize a client's state through their ``init_client_state`` hook the
+  first time the client is materialized (pure per client, so lazy and eager
+  initialization orders agree bit-for-bit).
+
+``fleet[cid]`` (participant access) materializes a :class:`Client` facade
+and persists its state; ``fleet.observer(cid)`` materializes a facade with
+a *transient* initial state when the client has never participated, so
+evaluation sweeps do not grow the store.  With ``lazy=False`` the fleet
+reproduces the old behaviour exactly: every client is built at construction
+and every state initialized up front.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping as MappingABC
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from ..data.dataset import (BoundedLRU, FederatedDataset,
+                            mapping_client_ids)
+from ..systems.devices import DeviceFleet
+from .client import Client
+
+#: per-client state initializer installed by ``Strategy.setup``
+StateInitializer = Callable[[Client], None]
+
+#: default facade-cache bound (matches ``FleetConfig.shard_cache``'s default)
+DEFAULT_FACADE_CACHE = 256
+
+
+class FleetStateStore:
+    """Sparse per-client strategy state: entries only for participants.
+
+    The store maps ``client_id -> state dict`` for every client that has
+    ever been dispatched.  Because every strategy's per-client state
+    initialization is a pure function of the client (seeded by its id), a
+    freshly initialized state is indistinguishable from one initialized at
+    setup time — which is what lets the fleet skip the O(num_clients)
+    initialization sweep entirely.
+    """
+
+    def __init__(self) -> None:
+        self._states: Dict[int, Dict[str, Any]] = {}
+        self._initializer: Optional[StateInitializer] = None
+
+    def bind(self, initializer: Optional[StateInitializer]) -> None:
+        """Install the initializer and reset to a fresh run's empty store."""
+        self._initializer = initializer
+        self._states = {}
+
+    def initialize(self, client: Client) -> None:
+        """Run the bound initializer on a freshly materialized facade."""
+        if self._initializer is not None:
+            self._initializer(client)
+
+    def get(self, client_id: int) -> Optional[Dict[str, Any]]:
+        return self._states.get(client_id)
+
+    def adopt(self, client_id: int, state: Dict[str, Any]) -> None:
+        """Persist a participating client's state dict (install or overwrite)."""
+        self._states[client_id] = state
+
+    @property
+    def known_ids(self) -> List[int]:
+        """Ids with a persisted state (i.e. clients that participated)."""
+        return sorted(self._states)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __contains__(self, client_id: int) -> bool:
+        return client_id in self._states
+
+
+class ClientFleet(MappingABC):
+    """Lazy ``Mapping[int, Client]`` over a dataset + device fleet.
+
+    ``fleet[cid]`` is *participant* access: the facade's state is persisted
+    in the sparse :class:`FleetStateStore` (initializing it first if the
+    client was never seen).  ``observer(cid)`` is read-only access for
+    evaluation: a never-participating client gets a transient initial state
+    that is dropped afterwards, keeping the store O(participants).
+    ``values()``/``items()`` iterate with observer semantics.
+
+    With ``lazy=False`` every client is materialized at construction and
+    binding a state initializer runs it on all of them immediately — the
+    pre-fleet behaviour, retained for bit-for-bit comparison and for callers
+    that want eager failure on malformed federations.
+    """
+
+    def __init__(self, dataset: FederatedDataset, devices: DeviceFleet, *,
+                 lazy: bool = True,
+                 cache_size: int = DEFAULT_FACADE_CACHE) -> None:
+        if len(devices) != dataset.num_clients:
+            raise ValueError(
+                f"device fleet has {len(devices)} profiles but the dataset "
+                f"has {dataset.num_clients} clients")
+        if cache_size <= 0:
+            raise ValueError("cache_size must be positive")
+        self.dataset = dataset
+        self.devices = devices
+        self.lazy = lazy
+        # each cached facade pins its materialized ClientData alongside
+        # the dataset's own shard LRU, so both layers share one configured
+        # bound (ServerCore resizes the shard map to match); worst-case
+        # resident shards are 2x that bound, typically ~1x (shared ids).
+        # The eager fleet keeps every facade alive by design.
+        self.cache_size = cache_size
+        self.state_store = FleetStateStore()
+        self._facades = BoundedLRU(cache_size if lazy
+                                   else max(cache_size, len(devices)))
+        self._ids: Optional[List[int]] = None
+        self.facade_builds = 0
+        if not lazy:
+            for cid in self.client_ids:
+                self._facades.put(cid, Client(cid, dataset.client(cid),
+                                              devices[cid]))
+
+    # ----------------------------------------------------------- lifecycle
+    def bind_state_initializer(self,
+                               initializer: Optional[StateInitializer]) -> None:
+        """Install a strategy's per-client state initializer (resets states).
+
+        Called from ``Strategy.setup``.  Eagerly initializes every client in
+        the non-lazy fleet (the old per-strategy setup loop); in the lazy
+        fleet initialization happens on first materialization instead.
+        """
+        self.state_store.bind(initializer)
+        if self.lazy:
+            # drop cached facades along with the store: a facade built for
+            # the previous binding carries that run's state dict, and
+            # re-adopting it would leak trained state into the fresh run
+            self._facades.clear()
+        else:
+            for cid in self.client_ids:
+                client = self._facades.get(cid)
+                # a FRESH dict per bind, exactly like the lazy path: keys a
+                # previous run's local updates left behind (personal params,
+                # patterns) must not leak into the new run — initializers
+                # only overwrite their own keys, so reusing the old dict
+                # would diverge from a lazily-rebuilt client
+                client.state = {}
+                self.state_store.adopt(cid, client.state)
+                self.state_store.initialize(client)
+
+    # ------------------------------------------------------------- access
+    def _build_facade(self, client_id: int,
+                      state: Dict[str, Any]) -> Client:
+        self.facade_builds += 1
+        return Client(client_id, self.dataset.client(client_id),
+                      self.devices[client_id], state=state)
+
+    def _facade(self, client_id: int, *, transient: bool = False) -> Client:
+        """The cached facade, building (and state-initializing) on demand.
+
+        ``transient=True`` (observer access to a never-participating
+        client) returns an *uncached* facade: its freshly initialized state
+        really is dropped afterwards, so an evaluation path that mutated
+        state could never leak into a later participation through the
+        facade cache.
+        """
+        facade = self._facades.get(client_id)
+        if facade is not None:
+            return facade
+        if not self.lazy:
+            raise KeyError(f"no client with id {client_id}")
+        stored = self.state_store.get(client_id)
+        facade = self._build_facade(client_id,
+                                    {} if stored is None else stored)
+        if stored is None:
+            self.state_store.initialize(facade)
+            if transient:
+                return facade
+        self._facades.put(client_id, facade)
+        return facade
+
+    def client(self, client_id: int) -> Client:
+        """Participant access: the facade's state joins the sparse store."""
+        self._check_id(client_id)
+        facade = self._facade(client_id)
+        if client_id not in self.state_store:
+            self.state_store.adopt(client_id, facade.state)
+        return facade
+
+    def observer(self, client_id: int) -> Client:
+        """Evaluation access: never grows the state store.
+
+        A participant's stored state is used as-is; an untouched client
+        gets a transient, freshly initialized, never-cached state —
+        identical in content to what participant access would persist
+        (initialization is pure per client) and genuinely discarded after
+        use.
+        """
+        self._check_id(client_id)
+        return self._facade(client_id, transient=True)
+
+    def peek_state(self, client_id: int) -> Optional[Dict[str, Any]]:
+        """A participant's stored state, or None — never materializes.
+
+        The broadcast evaluation path uses this instead of building
+        facades: ``None`` tells the worker to run the (pure per client)
+        state initializer on its own locally-built facade, so the server
+        touches no shard at all for evaluation fan-out.
+        """
+        self._check_id(client_id)
+        if not self.lazy:
+            return self._facades.get(client_id).state
+        return self.state_store.get(client_id)
+
+    def update_state(self, client_id: int, state: Dict[str, Any]) -> None:
+        """Install the state a worker shipped back for a participant."""
+        self._check_id(client_id)
+        facade = self._facades.get(client_id)
+        if facade is not None:
+            facade.state = state
+        self.state_store.adopt(client_id, state)
+
+    def _check_id(self, client_id: int) -> None:
+        if client_id not in self.dataset.clients:
+            raise KeyError(f"no client with id {client_id}")
+
+    # ------------------------------------------------------------- mapping
+    def __getitem__(self, client_id: int) -> Client:
+        return self.client(client_id)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.client_ids)
+
+    def __len__(self) -> int:
+        return self.dataset.num_clients
+
+    def __contains__(self, client_id: object) -> bool:
+        return client_id in self.dataset.clients
+
+    def values(self):
+        return _ObserverView(self, with_ids=False)
+
+    def items(self):
+        return _ObserverView(self, with_ids=True)
+
+    @property
+    def client_ids(self) -> List[int]:
+        if self._ids is None:
+            self._ids = mapping_client_ids(self.dataset.clients)
+        return self._ids
+
+
+class _ObserverView:
+    """Re-iterable ``values()``/``items()`` view with observer semantics.
+
+    Mapping views must survive repeated iteration (a one-shot generator
+    silently yields nothing the second time); each pass lazily
+    materializes facades via :meth:`ClientFleet.observer`, so iterating is
+    an O(num_clients) sweep but holding the view costs nothing.
+    """
+
+    def __init__(self, fleet: "ClientFleet", *, with_ids: bool) -> None:
+        self._fleet = fleet
+        self._with_ids = with_ids
+
+    def __iter__(self):
+        for cid in self._fleet.client_ids:
+            client = self._fleet.observer(cid)
+            yield (cid, client) if self._with_ids else client
+
+    def __len__(self) -> int:
+        return len(self._fleet)
+
+
+def bind_client_state_initializer(clients, initializer: StateInitializer
+                                  ) -> None:
+    """Route a strategy's per-client initializer to whatever holds clients.
+
+    ``Strategy.setup`` calls this with ``context.clients``: a
+    :class:`ClientFleet` binds it (lazy fleets defer per-client work, eager
+    fleets run it immediately), while a plain ``{cid: Client}`` dict — the
+    shape hand-rolled unit tests build — keeps the historical behaviour of
+    initializing every client on the spot.
+    """
+    binder = getattr(clients, "bind_state_initializer", None)
+    if binder is not None:
+        binder(initializer)
+        return
+    for client in clients.values():
+        initializer(client)

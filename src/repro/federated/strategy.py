@@ -19,7 +19,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from ..data.dataset import FederatedDataset
+from ..data.dataset import FederatedDataset, mapping_client_ids
 from ..nn.model import Sequential
 from ..nn.params import ParamDict, copy_params
 from ..sparsity.accounting import local_round_cost
@@ -29,15 +29,23 @@ from ..systems.devices import DeviceFleet
 from .aggregation import fedavg
 from .client import Client
 from .config import FederatedConfig
+from .fleet import bind_client_state_initializer
 from .local import train_locally
 
 
 @dataclass
 class StrategyContext:
-    """Everything a strategy needs to run: model, data, devices, config."""
+    """Everything a strategy needs to run: model, data, devices, config.
+
+    ``clients`` is any ``Mapping[int, Client]`` — a plain dict in
+    hand-built setups, or a :class:`~repro.federated.fleet.ClientFleet`
+    that materializes client facades lazily.  Strategies should index it by
+    id and treat whole-mapping iteration as an O(num_clients)
+    materialization.
+    """
 
     model: Sequential
-    clients: Dict[int, Client]
+    clients: Mapping[int, Client]
     dataset: FederatedDataset
     fleet: DeviceFleet
     config: FederatedConfig
@@ -46,7 +54,7 @@ class StrategyContext:
 
     @property
     def client_ids(self) -> List[int]:
-        return sorted(self.clients.keys())
+        return mapping_client_ids(self.clients)
 
 
 @dataclass
@@ -84,6 +92,22 @@ class Strategy:
     def setup(self, context: StrategyContext) -> None:
         self.context = context
         self.global_params = context.model.get_parameters()
+        bind_client_state_initializer(context.clients, self.init_client_state)
+
+    def init_client_state(self, client: Client) -> None:
+        """Initialize one client's persistent ``state`` (pure per client).
+
+        Strategies that keep per-client state (importance indicators, bandit
+        bookkeeping, ...) override this instead of looping over every client
+        in ``setup``: with a lazy fleet the hook runs the first time a
+        client is materialized, so untouched clients cost nothing.  The
+        implementation must depend only on the client (id, capability, data
+        sizes) and the context — never on which other clients exist or have
+        been initialized — so lazy and eager initialization orders agree.
+        For the fleet size use ``context.dataset.num_clients``, not
+        ``len(context.clients)``: the hook may run on a broadcast worker
+        whose context maps only the one client being rebuilt.
+        """
 
     def _require_context(self) -> StrategyContext:
         if self.context is None or self.global_params is None:
@@ -91,11 +115,19 @@ class Strategy:
         return self.context
 
     # ------------------------------------------------------------ selection
-    def select_clients(self, round_index: int) -> List[int]:
-        """Uniformly random selection of ``clients_per_round`` clients."""
+    def select_clients(self, round_index: int,
+                       count: Optional[int] = None) -> List[int]:
+        """Uniformly random selection of ``count`` clients.
+
+        ``count`` defaults to ``config.clients_per_round``; the server
+        passes a widened target explicitly when a scenario over-selects, so
+        strategies never see (or mutate) a temporarily patched config.
+        """
         context = self._require_context()
         ids = context.client_ids
-        count = min(context.config.clients_per_round, len(ids))
+        if count is None:
+            count = context.config.clients_per_round
+        count = min(count, len(ids))
         chosen = context.rng.choice(ids, size=count, replace=False)
         return sorted(int(cid) for cid in chosen)
 
@@ -138,6 +170,23 @@ class Strategy:
         """Hook for bandit updates, staleness bookkeeping, etc."""
 
     # --------------------------------------------------------------- helpers
+    def _client_state(self, client_id: int) -> Dict:
+        """A participant's persistent state without materializing its shard.
+
+        ``post_round`` hooks should read state through this instead of
+        ``context.clients[cid].state``: on a lazy fleet the latter builds a
+        full ``Client`` facade — synthesizing the client's data — just to
+        reach a dict the fleet's sparse store already holds O(1).
+        """
+        context = self._require_context()
+        clients = context.clients
+        peek = getattr(clients, "peek_state", None)
+        if peek is not None:
+            state = peek(client_id)
+            if state is not None:
+                return state
+        return clients[client_id].state
+
     def _client_rng(self, round_index: int, client_id: int) -> np.random.Generator:
         context = self._require_context()
         return np.random.default_rng(

@@ -28,7 +28,7 @@ serial/thread/process backends.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
 from ..data.dataset import FederatedDataset
 from ..nn.model import Sequential
@@ -37,8 +37,8 @@ from ..server.core import ServerCore
 from ..systems.cost import LocalCostModel
 from ..systems.devices import DeviceFleet
 from ..systems.metrics import TrainingHistory
-from .client import Client
 from .config import FederatedConfig
+from .fleet import ClientFleet
 from .strategy import Strategy, StrategyContext
 
 
@@ -111,7 +111,8 @@ class FederatedTrainer:
         return self.core.model
 
     @property
-    def clients(self) -> Dict[int, Client]:
+    def clients(self) -> ClientFleet:
+        """The (possibly lazy) client fleet view, a ``Mapping[int, Client]``."""
         return self.core.clients
 
     @property

@@ -263,6 +263,14 @@ def materialize(handle: BroadcastHandle) -> Tuple[Optional[Dict[str, np.ndarray]
     worker the cached objects are reused across tasks, which matches the
     serial reference semantics (one strategy/model instance serving clients
     sequentially).
+
+    The returned parameter arrays are **read-only zero-copy views** into
+    the worker's single private snapshot of the segment: no per-array copy
+    is made, and any attempted in-place mutation during fan-out raises
+    instead of silently corrupting the shared payload.  (The one snapshot
+    copy is what makes the views safe: the server unlinks the segment when
+    the round's fan-out completes and the worker cache evicts old rounds,
+    neither of which may invalidate arrays still referenced by a task.)
     """
     cache: "OrderedDict[Tuple[int, str], Tuple[Optional[Dict[str, np.ndarray]], Any]]"
     cache = getattr(_worker_cache, "entries", None)
@@ -283,8 +291,10 @@ def materialize(handle: BroadcastHandle) -> Tuple[Optional[Dict[str, np.ndarray]
             flat = np.frombuffer(raw, dtype=spec.dtype,
                                  count=int(np.prod(spec.shape, dtype=np.int64)),
                                  offset=spec.offset)
-            # frombuffer over bytes is read-only; copy to a private array
-            params[spec.key] = flat.reshape(spec.shape).copy()
+            # ``raw`` is immutable bytes, so the view (and any reshape of
+            # it) is born non-writeable and pins the snapshot alive via its
+            # base reference — zero-copy and mutation-proof
+            params[spec.key] = flat.reshape(spec.shape)
     payload = pickle.loads(
         raw[handle.blob_offset:handle.blob_offset + handle.blob_nbytes])
     entry = (params, payload)

@@ -45,6 +45,10 @@ class ScenarioEngine:
     def __init__(self, scenario: ScenarioConfig, *, seed: int = 0) -> None:
         self.scenario = scenario
         self.seed = seed
+        # trace rounds are stored as tuples; membership tests against them
+        # are O(num_clients), which a fleet-scale cohort pays per invited
+        # client — memoize each round's set once instead
+        self._trace_sets: dict = {}
 
     # -------------------------------------------------------------- selection
     def selection_target(self, clients_per_round: int) -> int:
@@ -63,7 +67,12 @@ class ScenarioEngine:
         trace = self.scenario.availability_trace
         if trace is not None:
             available = trace.get(round_index)
-            return True if available is None else client_id in available
+            if available is None:
+                return True
+            cached = self._trace_sets.get(round_index)
+            if cached is None:
+                cached = self._trace_sets[round_index] = frozenset(available)
+            return client_id in cached
         if self.scenario.availability >= 1.0:
             return True
         rng = self._rng(round_index, client_id, _AVAILABILITY_SALT)

@@ -33,9 +33,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..data.dataset import ClientData, Dataset, FederatedDataset
+from ..data.partition import VirtualFederatedDataset
 from ..federated.client import Client
 from ..federated.config import FederatedConfig
 from ..federated.evaluation import evaluate_params
+from ..federated.fleet import ClientFleet
 from ..federated.strategy import ClientUpdate, Strategy, StrategyContext
 from ..nn.model import Sequential
 from ..parallel import Broadcast, BroadcastHandle, Executor, materialize
@@ -51,17 +53,33 @@ _DATASET_BLOCK_PREFIX = "dataset"
 #: round_index tag of the session broadcast (round broadcasts use >= -1)
 _SESSION_ROUND_INDEX = -2
 
+#: salt of the deterministic evaluation-subset draw (fleet.eval_clients)
+_EVAL_SUBSET_SALT = 0xE7A1
+
 
 # ----------------------------------------------------------- session blocks
 def dataset_to_blocks(dataset: FederatedDataset
                       ) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
     """Split a federated dataset into raw array blocks + a pickled skeleton.
 
-    The arrays (every client's train/test features and labels) are by far
-    the heaviest part of the session payload; shipping them as manifest
-    blocks keeps them out of the pickled blob entirely, exactly like the
-    global parameter blocks of a round broadcast.
+    Eager datasets ship every client's train/test arrays as manifest blocks
+    (the PR 4 transport).  Virtual datasets ship O(1) instead: generated
+    federations put only their :class:`~repro.data.partition.FederationSpec`
+    in the skeleton (any worker rebuilds any client from it), and pooled
+    federations add the base arrays plus the CSR index assignment — per
+    -client *index slices*, never per-client shard copies — so worker-side
+    materialization stays O(cohort).
     """
+    if isinstance(dataset, VirtualFederatedDataset) and dataset.spec is not None:
+        # the descriptive fields travel alongside the spec (mirroring
+        # VirtualFederatedDataset.__reduce__) so a post-construction change
+        # to them survives this transport exactly like the pickle one
+        skeleton = {"kind": "virtual", "spec": dataset.spec,
+                    "overrides": {"name": dataset.name,
+                                  "num_classes": dataset.num_classes,
+                                  "input_shape": tuple(dataset.input_shape),
+                                  "metadata": dict(dataset.metadata)}}
+        return dict(dataset.transport_blocks()), skeleton
     blocks: Dict[str, np.ndarray] = {}
     for client_id in dataset.client_ids:
         shard = dataset.clients[client_id]
@@ -70,6 +88,7 @@ def dataset_to_blocks(dataset: FederatedDataset
         blocks[f"{_DATASET_BLOCK_PREFIX}/{client_id}/test/x"] = shard.test.x
         blocks[f"{_DATASET_BLOCK_PREFIX}/{client_id}/test/y"] = shard.test.y
     skeleton = {
+        "kind": "blocks",
         "name": dataset.name,
         "num_classes": dataset.num_classes,
         "input_shape": tuple(dataset.input_shape),
@@ -80,8 +99,22 @@ def dataset_to_blocks(dataset: FederatedDataset
 
 
 def dataset_from_blocks(skeleton: Dict[str, object],
-                        blocks: Dict[str, np.ndarray]) -> FederatedDataset:
+                        blocks: Dict[str, np.ndarray], *,
+                        shard_cache: int = 256) -> FederatedDataset:
     """Inverse of :func:`dataset_to_blocks` (arrays are shared, not copied)."""
+    if skeleton.get("kind") == "virtual":
+        spec = skeleton["spec"]
+        pooled = None
+        if "dataset/base/x" in blocks:
+            pooled = (blocks["dataset/base/x"], blocks["dataset/base/y"],
+                      blocks["dataset/assign/indices"],
+                      blocks["dataset/assign/offsets"])
+        dataset = VirtualFederatedDataset.from_spec(spec,
+                                                    shard_cache=shard_cache,
+                                                    pooled_arrays=pooled)
+        for field_name, value in skeleton.get("overrides", {}).items():
+            setattr(dataset, field_name, value)
+        return dataset
     clients: Dict[int, ClientData] = {}
     for client_id in skeleton["client_ids"]:
         prefix = f"{_DATASET_BLOCK_PREFIX}/{client_id}"
@@ -121,7 +154,8 @@ def materialized_session(handle: BroadcastHandle) -> tuple:
         return hit
     blocks, payload = materialize(handle)
     model, skeleton, fleet, config, cost_model = payload
-    dataset = dataset_from_blocks(skeleton, blocks)
+    dataset = dataset_from_blocks(skeleton, blocks or {},
+                                  shard_cache=config.fleet.shard_cache)
     session = (model, dataset, fleet, config, cost_model)
     if len(memo) >= _SESSION_MEMO_LIMIT:
         memo.clear()
@@ -155,33 +189,41 @@ def _evaluation_task(payload: Tuple[Strategy, Client]) -> float:
 
 def _bind_broadcast_client(session_handle: BroadcastHandle,
                            round_handle: BroadcastHandle, client_id: int,
-                           state: Dict) -> Tuple[Strategy, Client]:
+                           state: Optional[Dict]) -> Tuple[Strategy, Client]:
     """Rebuild a dispatch-ready strategy + client from broadcast handles.
 
     The session broadcast carries the run invariants (model architecture,
-    dataset shards as raw blocks, fleet, config, cost model); the round
-    broadcast carries the strategy template and the global parameter blocks.
-    Both are cached per worker (:func:`repro.parallel.materialize` plus the
-    session memo above), so only ``(client_id, state)`` actually crosses the
-    worker boundary per task.  Reusing the materialized template across a
-    worker's sequential tasks mirrors the serial reference, where one
-    strategy/model instance serves every client of the round in turn.
+    dataset shards/spec, fleet, config, cost model); the round broadcast
+    carries the strategy template and the global parameter blocks.  Both
+    are cached per worker (:func:`repro.parallel.materialize` plus the
+    session memo above), so only ``(client_id, state)`` actually crosses
+    the worker boundary per task.  ``state=None`` marks a client that has
+    never participated: the worker runs the strategy's (pure per client)
+    ``init_client_state`` itself, which is bit-identical to server-side
+    initialization and saves the server from materializing the client at
+    all.  Reusing the materialized template across a worker's sequential
+    tasks mirrors the serial reference, where one strategy/model instance
+    serves every client of the round in turn.
     """
     model, dataset, fleet, config, cost_model = \
         materialized_session(session_handle)
     global_params, (template, rng) = materialize(round_handle)
+    initialize = state is None
     client = Client(client_id, dataset.client(client_id), fleet[client_id],
-                    state=state)
+                    state={} if initialize else state)
     strategy = copy.copy(template)
     strategy.global_params = global_params
     strategy.context = StrategyContext(
         model=model, clients={client_id: client}, dataset=dataset,
         fleet=fleet, config=config, cost_model=cost_model, rng=rng)
+    if initialize:
+        strategy.init_client_state(client)
     return strategy, client
 
 
 def _broadcast_local_update_task(
-        payload: Tuple[BroadcastHandle, BroadcastHandle, int, int, Dict]
+        payload: Tuple[BroadcastHandle, BroadcastHandle, int, int,
+                       Optional[Dict]]
         ) -> Tuple[ClientUpdate, Dict]:
     """Broadcast-era variant of :func:`_local_update_task`."""
     session_handle, round_handle, round_index, client_id, state = payload
@@ -192,7 +234,8 @@ def _broadcast_local_update_task(
 
 
 def _broadcast_evaluation_task(
-        payload: Tuple[BroadcastHandle, BroadcastHandle, int, Dict]) -> float:
+        payload: Tuple[BroadcastHandle, BroadcastHandle, int, Optional[Dict]]
+        ) -> float:
     """Broadcast-era variant of :func:`_evaluation_task`."""
     session_handle, round_handle, client_id, state = payload
     strategy, client = _bind_broadcast_client(session_handle, round_handle,
@@ -226,22 +269,30 @@ class ServerCore:
         self.executor = executor
         self.use_broadcast = use_broadcast
         self._session_broadcast: Optional[Broadcast] = None
-        self.fleet = fleet or sample_device_fleet(dataset.num_clients,
-                                                  seed=self.config.seed)
-        if len(self.fleet) != dataset.num_clients:
-            raise ValueError(
-                f"device fleet has {len(self.fleet)} profiles but the dataset "
-                f"has {dataset.num_clients} clients")
+        lazy = self.config.fleet.lazy
+        self.fleet = fleet if fleet is not None else sample_device_fleet(
+            dataset.num_clients, seed=self.config.seed, lazy=lazy)
         self.cost_model = cost_model or LocalCostModel(self.config.cost_alpha,
                                                        seed=self.config.seed)
         self.scenario = (ScenarioEngine(self.config.scenario,
                                         seed=self.config.seed)
                          if self.config.scenario is not None else None)
         self.model = model_builder()
-        self.clients: Dict[int, Client] = {
-            cid: Client(cid, dataset.client(cid), self.fleet[cid])
-            for cid in dataset.client_ids
-        }
+        # the fleet view replaces the old eager Dict[int, Client]: with
+        # ``fleet.lazy`` (the default) Client facades, shards, device
+        # profiles and state come into existence per dispatched cohort.
+        # ``config.fleet.shard_cache`` is authoritative for both pinning
+        # layers — the facade cache here and the dataset's shard LRU (which
+        # may have been built with a different bound) — so worst-case
+        # resident shards are <= 2x shard_cache (disjoint id sets in the
+        # two caches), documented in FleetConfig.
+        shard_map = dataset.clients
+        if hasattr(shard_map, "resize"):
+            shard_map.resize(self.config.fleet.shard_cache)
+        self.clients: ClientFleet = ClientFleet(
+            dataset, self.fleet, lazy=lazy,
+            cache_size=self.config.fleet.shard_cache)
+        self._eval_ids: Optional[List[int]] = None
         self.context = StrategyContext(
             model=self.model, clients=self.clients, dataset=dataset,
             fleet=self.fleet, config=self.config, cost_model=self.cost_model,
@@ -262,10 +313,11 @@ class ServerCore:
     def select_clients(self, round_index: int) -> List[int]:
         """Ask the strategy for a round's clients, over-selecting if asked.
 
-        Over-selection widens ``clients_per_round`` *through the config* for
-        the duration of the call, so every strategy's own selection logic
-        (uniform, Oort-style utility, ...) sees the widened budget without
-        API changes.
+        Over-selection passes the widened budget to the strategy as an
+        explicit ``count`` argument; the shared config is never mutated, so
+        concurrent readers (workers holding the broadcast config, tests
+        inspecting ``config.clients_per_round``) can never observe a
+        temporarily patched value.
         """
         if self.scenario is None:
             return self.strategy.select_clients(round_index)
@@ -273,11 +325,7 @@ class ServerCore:
         target = min(self.scenario.selection_target(base), len(self.clients))
         if target == base:
             return self.strategy.select_clients(round_index)
-        self.config.clients_per_round = target
-        try:
-            return self.strategy.select_clients(round_index)
-        finally:
-            self.config.clients_per_round = base
+        return self.strategy.select_clients(round_index, count=target)
 
     def split_available(self, round_index: int, selected: List[int]
                         ) -> Tuple[List[int], List[int]]:
@@ -335,9 +383,11 @@ class ServerCore:
         every task installs the parameters it needs (``train_locally`` /
         ``evaluate_params`` both call ``set_parameters`` first), so only the
         architecture matters — exactly as with the serial reference, where
-        one model instance is scratch space for every client in turn.  The
-        dataset arrays travel as raw manifest blocks; only the skeleton is
-        pickled into the session blob.
+        one model instance is scratch space for every client in turn.  An
+        eager dataset's arrays travel as raw manifest blocks with only the
+        skeleton pickled; a virtual dataset ships its spec (plus, for pooled
+        partitions, the base arrays and CSR index slices), so the session
+        payload — like everything else — is O(cohort), not O(fleet).
         """
         if self._session_broadcast is None:
             blocks, skeleton = dataset_to_blocks(self.dataset)
@@ -380,8 +430,15 @@ class ServerCore:
         strategies that consult it during local work.
         """
         strategy = copy.copy(self.strategy)
-        slim_dataset = replace(
-            self.dataset, clients={client.client_id: client.data})
+        # a plain FederatedDataset regardless of the server-side flavour:
+        # a virtual dataset's lazy machinery (and any pooled base arrays)
+        # must not ride along in a per-task pickle
+        slim_dataset = FederatedDataset(
+            name=self.dataset.name,
+            clients={client.client_id: client.data},
+            num_classes=self.dataset.num_classes,
+            input_shape=tuple(self.dataset.input_shape),
+            metadata=dict(self.dataset.metadata))
         strategy.context = replace(self.context,
                                    clients={client.client_id: client},
                                    dataset=slim_dataset)
@@ -406,8 +463,13 @@ class ServerCore:
         if self._broadcast_enabled():
             session = self._session_handle()
             with self._round_broadcast(round_index) as broadcast:
+                # peek_state ships the stored state, or None for first-time
+                # participants (the worker runs the pure init itself), so
+                # dispatch materializes nothing server-side — the worker is
+                # the only place the cohort's shards are built
                 payloads = [(session, broadcast.handle, round_index, cid,
-                             self.clients[cid].state) for cid in selected]
+                             self.clients.peek_state(cid))
+                            for cid in selected]
                 results = self._map(_broadcast_local_update_task, payloads,
                                     ordered=ordered)
         else:
@@ -416,7 +478,7 @@ class ServerCore:
             results = self._map(_local_update_task, legacy, ordered=ordered)
         updates: List[ClientUpdate] = []
         for update, state in results:
-            self.clients[update.client_id].state = state
+            self.clients.update_state(update.client_id, state)
             updates.append(update)
         return updates
 
@@ -428,12 +490,51 @@ class ServerCore:
                 self.executor.map_unordered(fn, payloads)]
 
     # ------------------------------------------------------------ evaluation
+    def evaluation_client_ids(self) -> List[int]:
+        """The ids swept by personalized evaluation.
+
+        Every client by default (the paper's metric); with
+        ``config.fleet.eval_clients`` set, a fixed deterministic subset
+        drawn once per run from ``(seed, num_clients)`` — so histories stay
+        a pure function of the config across backends — or no clients at
+        all when the cap is 0 (fleet-scale smoke runs).
+        """
+        cap = self.config.fleet.eval_clients
+        ids = self.clients.client_ids
+        if cap is None or cap >= len(ids):
+            return ids
+        if self._eval_ids is None:
+            rng = np.random.default_rng(
+                (self.config.seed, len(ids), _EVAL_SUBSET_SALT))
+            chosen = rng.choice(len(ids), size=cap, replace=False)
+            self._eval_ids = sorted(ids[position] for position in chosen)
+        return self._eval_ids
+
     def evaluate_personalized(self) -> float:
-        """Average accuracy of every client's inference model on its test shard."""
-        clients = list(self.clients.values())
+        """Average accuracy of the evaluation sweep's personalized models.
+
+        Clients are accessed through the fleet's *observer* path: a client
+        that never participated gets a transient initial state (identical
+        to what participation would have initialized) and does not enter
+        the sparse state store.  With the broadcast transport the server
+        materializes nothing at all — payloads carry the stored state (or
+        ``None`` for never-participants, initialized worker-side) and each
+        worker rebuilds only the clients it evaluates.  Evaluation
+        inherently touches every swept client's test shard somewhere, so
+        for mid-size lazy fleets either keep ``fleet.shard_cache`` at or
+        above the sweep size or cap the sweep with ``fleet.eval_clients``.
+        (The opt-in legacy path, ``use_broadcast=False`` with an executor,
+        builds the whole sweep's payload list up front — O(sweep) resident
+        shards; it exists for byte-accounting on tiny workloads, not for
+        fleet scale.)
+        """
+        eval_ids = self.evaluation_client_ids()
+        if not eval_ids:
+            return 0.0
         if self.executor is None:
             accuracies = []
-            for client in clients:
+            for cid in eval_ids:
+                client = self.clients.observer(cid)
                 params, pattern = self.strategy.client_evaluation(client)
                 result = evaluate_params(self.model, params, client.test_data,
                                          pattern=pattern)
@@ -443,12 +544,15 @@ class ServerCore:
             # a fresh broadcast (not the round's): aggregation has moved the
             # global parameters since the local-update fan-out
             with self._round_broadcast(-1) as broadcast:
-                payloads = [(session, broadcast.handle, client.client_id,
-                             client.state) for client in clients]
+                payloads = [(session, broadcast.handle, cid,
+                             self.clients.peek_state(cid))
+                            for cid in eval_ids]
                 accuracies = self.executor.map_ordered(
                     _broadcast_evaluation_task, payloads)
         else:
-            payloads = [(self._dispatch_strategy(client), client)
-                        for client in clients]
+            payloads = []
+            for cid in eval_ids:
+                client = self.clients.observer(cid)
+                payloads.append((self._dispatch_strategy(client), client))
             accuracies = self.executor.map_ordered(_evaluation_task, payloads)
         return float(np.mean(accuracies)) if accuracies else 0.0

@@ -16,6 +16,14 @@ A :class:`Scheduler` turns the services of a
   aggregated every ``buffer_size`` arrivals; a partial buffer at run end is
   never flushed.
 
+Fleet contract
+    Schedulers operate on client *ids* against the core's fleet view: the
+    only ``Client`` objects that come into existence are the facades the
+    core materializes for the dispatched cohort (and the evaluation sweep),
+    so a scheduler never needs — and never causes — O(num_clients) work.
+    Per-client bookkeeping here (``in_flight``, FedBuff buffers) must stay
+    sparse: sets of ids for clients that actually have work outstanding.
+
 Determinism contract
     The asynchronous schedulers consume completions in the order of the
     pure sort key ``(finish_time, client_id)`` — never real arrival time.

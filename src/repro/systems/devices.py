@@ -115,20 +115,145 @@ class DeviceFleet:
         return {cid: profile.capability for cid, profile in self.profiles.items()}
 
 
+#: default bandwidth tiers of :func:`sample_device_fleet`
+DEFAULT_BANDWIDTH_LEVELS = (1.0, 0.75, 0.5)
+
+
+def sample_device_profile(client_id: int, *,
+                          levels: Sequence[float] = CAPABILITY_LEVELS,
+                          dynamic: bool = False, seed: int = 0,
+                          bandwidth_levels: Sequence[float] = DEFAULT_BANDWIDTH_LEVELS
+                          ) -> DeviceProfile:
+    """One client's profile, pure in ``(seed, client_id)``.
+
+    Bit-identical to the profile :func:`sample_device_fleet` assigns the
+    same client: the eager sampler draws ``choice(levels)`` then
+    ``choice(bandwidth_levels)`` per client from one sequential PCG64
+    stream, and each bounded ``choice`` over a non-singleton population
+    consumes exactly one buffered 32-bit half of a 64-bit PCG64 word (a
+    singleton population consumes nothing).  Jumping the bit generator to
+    client ``k``'s half-word offset with ``advance`` therefore reproduces
+    the sequential draws without generating clients ``0..k-1``.
+
+    This deliberately mirrors the historical stream instead of seeding an
+    independent generator per client, because the contract is bit-identity
+    with existing eager fleets (golden fixtures included).  It leans on two
+    numpy properties pinned by tests/federated/test_fleet.py's equivalence
+    suite: the buffered 32-bit bounded-``choice`` path, and its Lemire
+    rejection (probability ~2**-32 per draw, which would consume an extra
+    half-word) not triggering for the seeds/sizes in use.  If a numpy
+    upgrade changes either, that suite fails loudly — update both samplers
+    together.  The bounded form of the claim: a fleet of N clients makes
+    ~2N draws, so roughly N*2**-31 of seeds contain a rejection that would
+    shift every *eager* profile after it while the lazy path reproduces
+    the unshifted stream.  At the fleet scales where that probability
+    stops being negligible (millions of clients) the eager sampler is
+    never built, so the lazy path's own purity in ``(seed, client_id)`` —
+    which holds unconditionally — is the operative contract.
+    """
+    if client_id < 0:
+        raise ValueError("client_id must be non-negative")
+    if not levels:
+        raise ValueError("levels must not be empty")
+    halves = int(len(levels) > 1) + int(len(bandwidth_levels) > 1)
+    rng = np.random.default_rng(seed)
+    if halves == 2:
+        rng.bit_generator.advance(client_id)
+    elif halves == 1:
+        rng.bit_generator.advance(client_id // 2)
+        if client_id % 2:
+            # burn the first 32-bit half of the word (range 2 never rejects)
+            rng.integers(0, 2)
+    capability = float(rng.choice(levels))
+    bandwidth = float(rng.choice(bandwidth_levels))
+    return DeviceProfile(client_id=client_id, capability=capability,
+                         bandwidth_scale=bandwidth, dynamic=dynamic)
+
+
+class VirtualDeviceFleet(DeviceFleet):
+    """A device fleet whose profiles materialize lazily, O(cohort).
+
+    Profiles come from :func:`sample_device_profile`, so any client's device
+    is available in O(1) without sampling the rest of the fleet and matches
+    :func:`sample_device_fleet` bit-for-bit.  A small memo keeps the current
+    working set of profiles; ``capabilities()`` (an O(N) summary) remains
+    available but materializes every profile.
+    """
+
+    #: memoized profiles kept per fleet (a cohort plus slack)
+    MEMO_LIMIT = 4096
+
+    def __init__(self, num_clients: int, *,
+                 levels: Sequence[float] = CAPABILITY_LEVELS,
+                 dynamic: bool = False, seed: int = 0,
+                 bandwidth_levels: Sequence[float] = DEFAULT_BANDWIDTH_LEVELS
+                 ) -> None:
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        if not levels:
+            raise ValueError("levels must not be empty")
+        super().__init__(profiles={})
+        self.num_clients = num_clients
+        self.levels = tuple(levels)
+        self.bandwidth_levels = tuple(bandwidth_levels)
+        self.dynamic = dynamic
+        self.seed = seed
+
+    def __getitem__(self, client_id: int) -> DeviceProfile:
+        if not 0 <= client_id < self.num_clients:
+            raise KeyError(f"no device profile for client {client_id}")
+        profile = self.profiles.get(client_id)
+        if profile is None:
+            profile = sample_device_profile(
+                client_id, levels=self.levels, dynamic=self.dynamic,
+                seed=self.seed, bandwidth_levels=self.bandwidth_levels)
+            if len(self.profiles) >= self.MEMO_LIMIT:
+                self.profiles.clear()
+            self.profiles[client_id] = profile
+        return profile
+
+    def __len__(self) -> int:
+        return self.num_clients
+
+    @property
+    def client_ids(self) -> List[int]:
+        return list(range(self.num_clients))
+
+    def capabilities(self) -> Dict[int, float]:
+        return {cid: self[cid].capability for cid in range(self.num_clients)}
+
+    def __getstate__(self) -> Dict[str, object]:
+        # the memo is a cache, not state: ship only the pure description so
+        # broadcast payloads stay O(1) regardless of fleet size
+        return {"num_clients": self.num_clients, "levels": self.levels,
+                "bandwidth_levels": self.bandwidth_levels,
+                "dynamic": self.dynamic, "seed": self.seed}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__init__(state["num_clients"], levels=state["levels"],
+                      dynamic=state["dynamic"], seed=state["seed"],
+                      bandwidth_levels=state["bandwidth_levels"])
+
+
 def sample_device_fleet(num_clients: int, *, levels: Sequence[float] = CAPABILITY_LEVELS,
                         dynamic: bool = False, seed: int = 0,
-                        bandwidth_levels: Sequence[float] = (1.0, 0.75, 0.5)
-                        ) -> DeviceFleet:
+                        bandwidth_levels: Sequence[float] = DEFAULT_BANDWIDTH_LEVELS,
+                        lazy: bool = False) -> DeviceFleet:
     """Sample a fleet of devices with capabilities drawn uniformly from ``levels``.
 
     This mirrors the paper's configuration: capability levels are sampled
     uniformly across clients, and bandwidth varies moderately and
-    independently of compute.
+    independently of compute.  ``lazy=True`` returns a
+    :class:`VirtualDeviceFleet` with identical profiles but O(1)
+    construction.
     """
     if num_clients <= 0:
         raise ValueError("num_clients must be positive")
     if not levels:
         raise ValueError("levels must not be empty")
+    if lazy:
+        return VirtualDeviceFleet(num_clients, levels=levels, dynamic=dynamic,
+                                  seed=seed, bandwidth_levels=bandwidth_levels)
     rng = np.random.default_rng(seed)
     profiles: Dict[int, DeviceProfile] = {}
     for client_id in range(num_clients):
@@ -141,11 +266,11 @@ def sample_device_fleet(num_clients: int, *, levels: Sequence[float] = CAPABILIT
 
 
 def fleet_for_heterogeneity(num_clients: int, level: str, *, dynamic: bool = False,
-                            seed: int = 0) -> DeviceFleet:
+                            seed: int = 0, lazy: bool = False) -> DeviceFleet:
     """Build a fleet for one of the paper's heterogeneity presets."""
     if level not in HETEROGENEITY_PRESETS:
         raise ValueError(
             f"unknown heterogeneity level {level!r}; "
             f"choose from {sorted(HETEROGENEITY_PRESETS)}")
     return sample_device_fleet(num_clients, levels=HETEROGENEITY_PRESETS[level],
-                               dynamic=dynamic, seed=seed)
+                               dynamic=dynamic, seed=seed, lazy=lazy)

@@ -64,7 +64,11 @@ class TestSelectionStrategies:
                                small_fed_dataset, tiny_config)
         strategy = trainer.strategy
         strategy.setup(trainer.context)
+        # post_round records loss and size together; mirror both here
         strategy._last_loss = {cid: float(cid) for cid in trainer.clients}
+        strategy._num_examples = {
+            cid: trainer.clients[cid].num_train_examples
+            for cid in trainer.clients}
         selected = strategy.select_clients(1)
         assert len(selected) == tiny_config.clients_per_round
         # the highest-loss clients are chosen when not exploring

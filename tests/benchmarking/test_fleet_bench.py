@@ -1,0 +1,44 @@
+"""The fleet-scale benchmark harness (BENCH_fleet.json)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.benchmarking import (format_fleet_report, measure_construction,
+                                run_fleet_bench)
+from repro.cli import main
+
+
+class TestFleetBench:
+    def test_report_schema_and_gate(self, tmp_path):
+        output = tmp_path / "BENCH_fleet.json"
+        report = run_fleet_bench(scale=0.01, output=str(output))
+        assert report["gate"]["pass"], report["gate"]
+        ladder = report["ladder"]
+        assert len(ladder) == 3
+        for cell in ladder.values():
+            assert cell["lazy"] is True
+            assert cell["seconds_to_first_dispatch"] >= 0.0
+            # materialization scales with the cohort, not the fleet
+            assert cell["shard_materializations"] <= max(cell["cohort_size"],
+                                                         32)
+        smoke = report["smoke"]
+        assert smoke["rounds_completed"] == smoke["rounds"] == 2
+        persisted = json.loads(output.read_text())
+        assert persisted["gate"]["pass"] is True
+        # the rendered table mentions the gate verdict
+        assert "PASS" in format_fleet_report(report)
+
+    def test_eager_reference_materializes_everything(self):
+        cell = measure_construction(24, lazy=False)
+        assert cell["lazy"] is False
+        assert cell["shard_materializations"] == 24
+
+    def test_cli_fleet_scale_axis(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_fleet.json"
+        code = main(["bench", "--fleet-scale", "0.01",
+                     "--fleet-output", str(output), "--check"])
+        assert code == 0
+        assert output.exists()
+        out = capsys.readouterr().out
+        assert "fleet" in out and "smoke:" in out

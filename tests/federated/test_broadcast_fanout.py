@@ -112,13 +112,41 @@ class TestBytesPerRound:
         assert legacy >= preset.clients_per_round * pickled_with_broadcast
 
 
+class TestReadOnlyFanout:
+    """No strategy mutates broadcast-shared arrays during fan-out.
+
+    ``materialize`` hands workers read-only views (see
+    tests/parallel/test_broadcast.py for the unit-level guard); this sweep
+    proves the property the ROADMAP asked for before enabling it — that no
+    registry strategy's local update or evaluation writes into the shared
+    global parameters or dataset blocks in place.  Any such write now
+    raises ``ValueError: assignment destination is read-only`` and would
+    fail the run.
+    """
+
+    @pytest.mark.parametrize("lazy_fleet", [True, False],
+                             ids=["lazy-fleet", "eager-fleet"])
+    def test_every_registry_strategy_runs_on_read_only_views(self,
+                                                             lazy_fleet):
+        from repro.baselines import available_strategies
+
+        # the eager variant is the one that actually ships dataset arrays
+        # as read-only blocks; the lazy variant covers the spec transport
+        preset = scaled(tiny_preset(), num_rounds=1, lazy_fleet=lazy_fleet)
+        with ThreadPoolExecutor(WORKERS) as executor:
+            for method in available_strategies():
+                run_method(method, preset, executor=executor,
+                           use_broadcast=True)
+
+
 class TestSessionDatasetBlocks:
     """The dataset rides the session manifest as raw blocks, not the blob."""
 
     def test_session_blob_excludes_dataset_arrays(self):
         from repro.server.core import dataset_to_blocks
 
-        preset = tiny_preset()
+        # the retained eager path: every client's arrays on the manifest
+        preset = scaled(tiny_preset(), lazy_fleet=False)
         dataset, model_builder, config, fleet = build_experiment(preset)
         strategy = build_strategy("fedavg")
         with ThreadPoolExecutor(WORKERS) as executor:
@@ -141,12 +169,42 @@ class TestSessionDatasetBlocks:
             finally:
                 trainer.close()
 
+    def test_virtual_session_ships_spec_not_shards(self):
+        """The default (virtual) fleet's session payload is O(1)."""
+        from repro.data.partition import VirtualFederatedDataset
+        from repro.server.core import dataset_to_blocks
+
+        preset = tiny_preset()
+        dataset, model_builder, config, fleet = build_experiment(preset)
+        assert isinstance(dataset, VirtualFederatedDataset)
+        strategy = build_strategy("fedavg")
+        with ThreadPoolExecutor(WORKERS) as executor:
+            trainer = FederatedTrainer(strategy, dataset, model_builder,
+                                       config=config, fleet=fleet,
+                                       executor=executor)
+            try:
+                handle = trainer.core._session_handle()
+                blocks, skeleton = dataset_to_blocks(dataset)
+                # generated federations ship no dataset arrays at all —
+                # the spec rebuilds any client worker-side
+                assert blocks == {}
+                assert skeleton["kind"] == "virtual"
+                assert skeleton["spec"] == dataset.spec
+                assert skeleton["overrides"]["name"] == dataset.name
+                assert not any(spec.key.startswith("dataset/")
+                               for spec in handle.manifest)
+                # untouched by publishing: no shard was materialized
+                assert dataset.shard_map.materializations == 0
+            finally:
+                trainer.close()
+
     def test_dataset_round_trips_through_blocks(self):
         import numpy as np
 
         from repro.server.core import dataset_from_blocks, dataset_to_blocks
 
-        dataset, _, _, _ = build_experiment(tiny_preset())
+        dataset, _, _, _ = build_experiment(
+            scaled(tiny_preset(), lazy_fleet=False))
         blocks, skeleton = dataset_to_blocks(dataset)
         rebuilt = dataset_from_blocks(skeleton, blocks)
         assert rebuilt.name == dataset.name
@@ -159,3 +217,26 @@ class TestSessionDatasetBlocks:
             np.testing.assert_array_equal(original.train.y, copy.train.y)
             np.testing.assert_array_equal(original.test.x, copy.test.x)
             np.testing.assert_array_equal(original.test.y, copy.test.y)
+
+    def test_virtual_dataset_round_trips_through_blocks(self):
+        """Both virtual transports rebuild shards element-identically."""
+        import numpy as np
+
+        from repro.data import build_federated_dataset
+        from repro.server.core import dataset_from_blocks, dataset_to_blocks
+
+        for partition in ("pathological", "dirichlet"):
+            eager = build_federated_dataset(
+                "mnist", 5, partition=partition, examples_per_client=20,
+                seed=11)
+            virtual = build_federated_dataset(
+                "mnist", 5, partition=partition, examples_per_client=20,
+                seed=11, lazy=True)
+            blocks, skeleton = dataset_to_blocks(virtual)
+            rebuilt = dataset_from_blocks(skeleton, blocks)
+            for cid in eager.client_ids:
+                original, copy = eager.client(cid), rebuilt.client(cid)
+                np.testing.assert_array_equal(original.train.x, copy.train.x)
+                np.testing.assert_array_equal(original.train.y, copy.train.y)
+                np.testing.assert_array_equal(original.test.x, copy.test.x)
+                np.testing.assert_array_equal(original.test.y, copy.test.y)

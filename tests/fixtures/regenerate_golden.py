@@ -48,17 +48,22 @@ def golden_specs():
     return specs
 
 
-def golden_preset(scenario: str):
+def golden_preset(scenario: str, *, lazy_fleet: bool = True):
     from repro.experiments import preset_for, scaled
 
-    return scaled(preset_for("mnist"), scenario=scenario, **GOLDEN_OVERRIDES)
+    return scaled(preset_for("mnist"), scenario=scenario,
+                  lazy_fleet=lazy_fleet, **GOLDEN_OVERRIDES)
 
 
-def run_golden(method: str, scenario: str):
-    """One pinned run; shared by the regenerator and the regression test."""
+def run_golden(method: str, scenario: str, *, lazy_fleet: bool = True):
+    """One pinned run; shared by the regenerator and the regression test.
+
+    ``lazy_fleet`` selects the fleet materialization path; both must
+    reproduce the same fixture bit-for-bit (the virtual-fleet contract).
+    """
     from repro.experiments import run_method
 
-    return run_method(method, golden_preset(scenario))
+    return run_method(method, golden_preset(scenario, lazy_fleet=lazy_fleet))
 
 
 def fixture_path(name: str) -> Path:

@@ -51,12 +51,23 @@ class TestRoundTrip:
             assert got_params[key].shape == value.shape
             assert np.array_equal(got_params[key], value)
 
-    def test_materialized_params_are_private_and_writable(self):
+    def test_materialized_params_are_read_only_zero_copy_views(self):
+        """The writeability guard: fan-out params cannot be mutated in place.
+
+        Every materialized array is a view into the worker's single private
+        snapshot of the segment (no per-array copy), and any in-place write
+        raises instead of silently corrupting the cached broadcast that
+        later tasks on the same worker will reuse.
+        """
         params = sample_params()
         with Broadcast(None, params) as broadcast:
             got, _ = materialize(broadcast.handle)
-        got["dense.b"][0] = 123.0  # a read-only view would raise here
-        assert params["dense.b"][0] != 123.0
+        for array in got.values():
+            assert not array.flags.writeable
+            assert array.base is not None  # a view, not a private copy
+        with pytest.raises(ValueError):
+            got["dense.b"][0] = 123.0
+        assert params["dense.b"][0] != 123.0  # the published arrays untouched
 
     def test_payload_only_broadcast_has_no_params(self):
         with Broadcast(["just", "a", "payload"]) as broadcast:

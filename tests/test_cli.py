@@ -43,7 +43,10 @@ class TestParser:
         assert args.scale == 1.0
         assert args.backends == ["process", "serial", "thread"]
         assert args.workers_list == [1, 2, 4]
-        assert args.output == "BENCH_fanout.json"
+        # None means "BENCH_fanout.json unless --fleet-scale took over"
+        assert args.output is None
+        assert args.fleet_scale is None
+        assert args.fleet_output == "BENCH_fleet.json"
         assert not args.check
 
     def test_bench_rejects_unknown_backend(self):

@@ -43,9 +43,17 @@ class TestFixturesAreComplete:
             "`python tests/fixtures/regenerate_golden.py`")
 
 
+@pytest.mark.parametrize("lazy_fleet", [True, False],
+                         ids=["lazy-fleet", "eager-fleet"])
 @pytest.mark.parametrize("name,method,scenario",
                          SPECS, ids=[name for name, _, _ in SPECS])
-def test_history_matches_golden_fixture(name, method, scenario):
+def test_history_matches_golden_fixture(name, method, scenario, lazy_fleet):
+    """Each fixture must reproduce on BOTH fleet materialization paths.
+
+    The lazy virtual fleet is the default; ``fleet.lazy=False`` retains the
+    eager build-everything construction.  Neither is allowed to drift a
+    bit from the committed fixture (which predates the virtual fleet).
+    """
     path = golden.fixture_path(name)
     assert path.exists(), (
         f"missing golden fixture {path.name}; run "
@@ -53,9 +61,10 @@ def test_history_matches_golden_fixture(name, method, scenario):
     payload = json.loads(path.read_text())
     assert payload["overrides"] == dict(golden.GOLDEN_OVERRIDES), (
         "golden preset changed; regenerate the fixtures")
-    history = golden.run_golden(method, scenario)
+    history = golden.run_golden(method, scenario, lazy_fleet=lazy_fleet)
     # round-trip through JSON so float formatting cannot mask a mismatch
     fresh = json.loads(json.dumps(history.to_dict()))
     assert fresh == payload["history"], (
-        f"numeric drift in {method!r} ({scenario}); if intentional, run "
-        "`python tests/fixtures/regenerate_golden.py` and commit the diff")
+        f"numeric drift in {method!r} ({scenario}, lazy={lazy_fleet}); if "
+        "intentional, run `python tests/fixtures/regenerate_golden.py` and "
+        "commit the diff")
