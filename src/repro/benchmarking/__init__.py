@@ -1,5 +1,7 @@
 """Performance benchmarking harness (``repro bench``)."""
 
+from .checkpoint import (format_checkpoint_report, measure_checkpoint,
+                         run_checkpoint_bench)
 from .fanout import (BENCH_METHOD, fanout_preset, format_bench_report,
                      measure_aggregation_modes, measure_fanout_bytes,
                      run_fanout_bench)
@@ -8,6 +10,9 @@ from .fleet import (fleet_preset, format_fleet_report, measure_construction,
 
 __all__ = [
     "BENCH_METHOD",
+    "format_checkpoint_report",
+    "measure_checkpoint",
+    "run_checkpoint_bench",
     "fanout_preset",
     "format_bench_report",
     "measure_aggregation_modes",

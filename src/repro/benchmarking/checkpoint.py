@@ -1,0 +1,193 @@
+"""Checkpoint-cost benchmark: write/restore time and bytes vs fleet size.
+
+``repro bench --checkpoint-scale`` pins the cost contract of
+:mod:`repro.checkpoint`: a round-boundary checkpoint must be cheap enough
+to take every round (write wall-clock under a second even at the 100k-client
+rung) and must scale with the *cohort* that actually participated, never
+with the fleet — a lazy 100k-client run's checkpoint carries the same few
+dozen client states as a 1k-client run's, so its bytes on disk stay within
+a constant factor of the small rung instead of growing 100x.
+
+Each rung runs a short training run with per-round checkpointing on a lazy
+virtual fleet, records the manager's write timing/bytes, then restores the
+latest checkpoint into a *fresh* core and times that too.  The report lands
+in ``BENCH_checkpoint.json``, schema-compatible with the ``BENCH_fanout``/
+``BENCH_fleet`` family (``bench_scale``, ``cpu_count``, per-cell
+``seconds``), so future PRs have a trajectory to move.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from ..baselines import build_strategy
+from ..checkpoint import CheckpointManager, restore_run
+from ..federated import FederatedTrainer
+from ..systems.metrics import TrainingHistory
+from .fleet import fleet_preset
+
+#: the fleet-size rungs at scale 1.0 (small reference + the 100k contract)
+LADDER = (1_000, 100_000)
+
+#: write budget of the top rung: checkpointing every round must stay cheap
+GATE_WRITE_SECONDS = 1.0
+
+#: O(cohort) slack: the top rung's bytes may exceed the small rung's by at
+#: most this factor (or this many absolute bytes, whichever is larger) —
+#: a 100x fleet with the same cohort must not produce ~100x the checkpoint
+GATE_BYTES_FACTOR = 2.0
+GATE_BYTES_SLACK = 1_000_000
+
+
+def _build_trainer(preset):
+    from ..experiments.presets import build_experiment
+
+    dataset, model_builder, config, fleet = build_experiment(preset)
+    return FederatedTrainer(build_strategy("fedavg"), dataset, model_builder,
+                            config=config, fleet=fleet)
+
+
+def measure_checkpoint(num_clients: int) -> Dict[str, object]:
+    """Write + restore cost of checkpointing one rung's training run.
+
+    Runs two rounds with a per-round checkpointer (timings come from the
+    manager's counters, so they measure exactly the capture+serialize+fsync
+    path a real run pays), then rebuilds a fresh trainer and times restoring
+    the final checkpoint into it.
+    """
+    from ..server.scheduler import build_scheduler
+
+    preset = fleet_preset(num_clients, num_rounds=2, clients_per_round=32,
+                          eval_clients=0)
+    trainer = _build_trainer(preset)
+    core = trainer.core
+    with tempfile.TemporaryDirectory() as tmp:
+        manager = CheckpointManager(tmp, every=1)
+        scheduler = build_scheduler(core.config)
+        start = time.perf_counter()
+        history = scheduler.run(core, checkpointer=manager)
+        run_seconds = time.perf_counter() - start
+        checkpoint = manager.latest()
+
+        fresh = _build_trainer(preset)
+        fresh_scheduler = build_scheduler(fresh.core.config)
+        fresh.core.strategy.setup(fresh.core.context)
+        fresh_scheduler.reset()
+        restored = TrainingHistory(method=fresh.core.strategy.name,
+                                   dataset=fresh.core.dataset.name)
+        start = time.perf_counter()
+        next_round = restore_run(fresh.core, fresh_scheduler, checkpoint,
+                                 restored)
+        restore_seconds = time.perf_counter() - start
+    assert next_round == preset.num_rounds
+    assert len(restored.records) == len(history.records)
+    return {
+        "num_clients": num_clients,
+        "rounds": preset.num_rounds,
+        "cohort_size": min(32, num_clients),
+        "run_seconds": run_seconds,
+        "seconds": manager.last_save_seconds,
+        "mean_write_seconds": manager.total_save_seconds
+                              / max(manager.saves, 1),
+        "restore_seconds": restore_seconds,
+        "bytes_on_disk": manager.last_bytes,
+        "client_states": len(checkpoint.client_states),
+        "queued_events": len(checkpoint.scheduler.get("events", ())),
+    }
+
+
+def _gate(cells: Dict[str, Dict[str, object]], small_size: int,
+          top_size: int) -> Dict[str, object]:
+    """Pass/fail: the top rung meets the write budget and stays O(cohort)."""
+    small = cells.get(str(small_size))
+    top = cells.get(str(top_size))
+    if small is None or top is None:
+        return {"pass": False,
+                "reason": f"missing rung {small_size} or {top_size}"}
+    write_seconds = float(top["seconds"])
+    bytes_small = int(small["bytes_on_disk"])
+    bytes_top = int(top["bytes_on_disk"])
+    bytes_budget = max(int(bytes_small * GATE_BYTES_FACTOR),
+                       bytes_small + GATE_BYTES_SLACK)
+    # the state entries a checkpoint carries must track participation, not
+    # fleet size: rounds * cohort is the hard upper bound
+    participation_bound = int(top["rounds"]) * int(top["cohort_size"])
+    sparse = int(top["client_states"]) <= participation_bound
+    verdict = (write_seconds <= GATE_WRITE_SECONDS
+               and bytes_top <= bytes_budget and sparse)
+    return {
+        "pass": bool(verdict),
+        "top_size": top_size,
+        "write_seconds": write_seconds,
+        "write_seconds_budget": GATE_WRITE_SECONDS,
+        "bytes_on_disk": bytes_top,
+        "bytes_budget": bytes_budget,
+        "bytes_small_rung": bytes_small,
+        "o_cohort_states": sparse,
+    }
+
+
+def run_checkpoint_bench(scale: float = 1.0,
+                         ladder: Optional[Iterable[int]] = None,
+                         output: Optional[str] = None) -> Dict[str, object]:
+    """Run the checkpoint benchmark and return (optionally write) the report.
+
+    ``scale`` multiplies the fleet-size rungs (1k and 100k at 1.0), the same
+    convention as ``repro bench --scale`` / ``--fleet-scale``.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    sizes = list(dict.fromkeys(
+        max(8, int(round(step * scale)))
+        for step in (ladder if ladder is not None else LADDER)))
+    cells: Dict[str, Dict[str, object]] = {}
+    for size in sizes:
+        cells[str(size)] = measure_checkpoint(size)
+    report: Dict[str, object] = {
+        "bench_scale": scale,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "cpu_count": os.cpu_count(),
+        "ladder": cells,
+        "gate": _gate(cells, sizes[0], sizes[-1]),
+    }
+    if output:
+        Path(output).write_text(json.dumps(report, indent=2, sort_keys=True))
+    return report
+
+
+def format_checkpoint_report(report: Dict[str, object]) -> str:
+    """Render a checkpoint report as the aligned text table the CLI prints."""
+    lines = [f"# repro bench --checkpoint-scale {report['bench_scale']} — "
+             f"cpu_count {report['cpu_count']}"]
+    header = (f"{'fleet':>10s} | {'write_s':>8s} | {'restore_s':>9s} | "
+              f"{'bytes':>10s} | {'states':>6s} | {'events':>6s}")
+    lines += [header, "-" * len(header)]
+    for cell in report["ladder"].values():
+        lines.append(
+            f"{cell['num_clients']:>10d} | "
+            f"{cell['seconds']:>8.4f} | "
+            f"{cell['restore_seconds']:>9.4f} | "
+            f"{cell['bytes_on_disk']:>10d} | "
+            f"{cell['client_states']:>6d} | "
+            f"{cell['queued_events']:>6d}")
+    gate = report["gate"]
+    if "write_seconds" in gate:
+        lines.append(
+            f"gate: {gate['top_size']} clients -> "
+            f"write {gate['write_seconds']:.4f}s "
+            f"(budget {gate['write_seconds_budget']}s), "
+            f"{gate['bytes_on_disk']} bytes "
+            f"(budget {gate['bytes_budget']}, "
+            f"small rung {gate['bytes_small_rung']}) "
+            f"-> {'PASS' if gate['pass'] else 'FAIL'}")
+    else:
+        lines.append(f"gate: FAIL ({gate.get('reason', 'unknown')})")
+    return "\n".join(lines)

@@ -9,7 +9,10 @@ Examples::
     python -m repro.cli table1 --datasets mnist cifar10 --rounds 10
     python -m repro.cli sweep --datasets mnist cifar10 --methods fedavg fedlps \
         --scenarios ideal deadline-tight --backend process --workers 4
+    python -m repro.cli run --preset mnist --checkpoint-dir ckpts --resume
+    python -m repro.cli sweep --checkpoint-dir ckpts --retries 2
     python -m repro.cli bench --scale 0.25 --check
+    python -m repro.cli bench --checkpoint-scale 1.0 --check
 
 Every experiment command accepts ``--workers N`` and ``--backend
 {serial,thread,process}``.  ``run`` and ``compare`` parallelize the per-round
@@ -121,6 +124,24 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run one method on one dataset")
     run_parser.add_argument("--method", default="fedlps",
                             choices=available_strategies())
+    run_parser.add_argument("--checkpoint-dir", default=None,
+                            help="checkpoint the run into this directory at "
+                                 "round boundaries (see repro.checkpoint)")
+    run_parser.add_argument("--checkpoint-every", type=int, default=1,
+                            help="checkpoint every N rounds (default 1)")
+    run_parser.add_argument("--resume", action="store_true",
+                            help="resume from the latest checkpoint in "
+                                 "--checkpoint-dir (fresh start if none); "
+                                 "the continued history is bit-identical to "
+                                 "an uninterrupted run")
+    run_parser.add_argument("--stop-after-round", type=int, default=None,
+                            help="deterministic preemption: checkpoint round "
+                                 "K, then exit with status 3 (CI resume "
+                                 "smoke)")
+    run_parser.add_argument("--history-out", default=None,
+                            help="write the run's full history JSON here "
+                                 "(sorted keys — byte-comparable across "
+                                 "runs/backends)")
     _add_common_arguments(run_parser)
 
     compare_parser = sub.add_parser("compare",
@@ -149,6 +170,14 @@ def build_parser() -> argparse.ArgumentParser:
                               help="directory of the JSON result cache")
     sweep_parser.add_argument("--no-cache", action="store_true",
                               help="always re-run, never read or write the cache")
+    sweep_parser.add_argument("--checkpoint-dir", default=None,
+                              help="root directory for per-cell run "
+                                   "checkpoints (each grid cell gets a "
+                                   "spec-keyed subdirectory)")
+    sweep_parser.add_argument("--retries", type=int, default=0,
+                              help="retry a failed cell up to N times, "
+                                   "resuming from its last checkpoint when "
+                                   "--checkpoint-dir is set")
     _add_common_arguments(sweep_parser)
 
     bench_parser = sub.add_parser(
@@ -193,6 +222,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--fleet-output", default="BENCH_fleet.json",
                               help="where to write the fleet-scale JSON "
                                    "report ('' skips writing)")
+    bench_parser.add_argument("--checkpoint-scale", type=float, default=None,
+                              help="run the checkpoint axis instead: "
+                                   "write/restore wall-clock and bytes on "
+                                   "disk over a 1k vs 100k (x SCALE) lazy "
+                                   "fleet, gating that checkpoints stay "
+                                   "O(cohort) and under the write budget; "
+                                   "written to --checkpoint-output")
+    bench_parser.add_argument("--checkpoint-output",
+                              default="BENCH_checkpoint.json",
+                              help="where to write the checkpoint JSON "
+                                   "report ('' skips writing)")
 
     sub.add_parser("list", help="list available methods")
     return parser
@@ -207,6 +247,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "bench":
+        if args.fleet_scale is not None and args.checkpoint_scale is not None:
+            print("bench --fleet-scale and --checkpoint-scale are separate "
+                  "axes; run them as two invocations", flush=True)
+            return 2
+        if args.checkpoint_scale is not None:
+            fanout_only = {
+                "--output": args.output is not None,
+                "--scale": args.scale != BENCH_SCALE_DEFAULT,
+                "--backends": args.backends != list(available_backends()),
+                "--workers-list": args.workers_list != BENCH_WORKERS_DEFAULT,
+                "--repeats": args.repeats != BENCH_REPEATS_DEFAULT,
+                "--aggregations": args.aggregations
+                                  != list(available_aggregations()),
+            }
+            clashes = [flag for flag, used in fanout_only.items() if used]
+            if clashes:
+                print(f"bench --checkpoint-scale ignores "
+                      f"{', '.join(clashes)} — those apply only to the "
+                      "fan-out bench (the checkpoint axis writes its report "
+                      "to --checkpoint-output)", flush=True)
+                return 2
+            from .benchmarking import (format_checkpoint_report,
+                                       run_checkpoint_bench)
+            report = run_checkpoint_bench(scale=args.checkpoint_scale,
+                                          output=args.checkpoint_output
+                                          or None)
+            print(format_checkpoint_report(report))
+            if args.checkpoint_output:
+                print(f"# report written to {args.checkpoint_output}")
+            if args.check and not report["gate"]["pass"]:
+                return 1
+            return 0
         if args.fleet_scale is not None:
             # the fleet axis has its own knobs; silently dropping fan-out
             # flags would look like they were honored (e.g. a missing
@@ -253,8 +325,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         dataset = _dataset_from(args)
         preset = scaled(preset_for(dataset), **_preset_overrides(args))
-        with _executor_from(args) as executor:
-            history = run_method(args.method, preset, executor=executor)
+        if ((args.resume or args.stop_after_round is not None)
+                and args.checkpoint_dir is None):
+            print("run --resume/--stop-after-round need --checkpoint-dir",
+                  flush=True)
+            return 2
+        from .checkpoint import TrainingInterrupted
+        try:
+            with _executor_from(args) as executor:
+                history = run_method(
+                    args.method, preset, executor=executor,
+                    checkpoint_dir=args.checkpoint_dir,
+                    checkpoint_every=args.checkpoint_every,
+                    resume=args.resume,
+                    stop_after_round=args.stop_after_round)
+        except TrainingInterrupted as interrupted:
+            print(f"# {interrupted}", flush=True)
+            return 3
+        if args.history_out:
+            import json as _json
+            from pathlib import Path as _Path
+            _Path(args.history_out).write_text(
+                _json.dumps(history.to_dict(), sort_keys=True) + "\n")
         summary = summarize(history)
         print(format_rows([{"method": args.method, "dataset": dataset,
                             "scenario": preset.scenario,
@@ -304,7 +396,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             histories = run_scenario_sweep(args.methods, args.datasets,
                                            scenarios, aggregations,
                                            overrides=overrides,
-                                           executor=executor, cache=cache)
+                                           executor=executor, cache=cache,
+                                           checkpoint_root=args.checkpoint_dir,
+                                           retries=args.retries)
         rows = [{"method": method, "dataset": dataset, "scenario": scenario,
                  "aggregation": aggregation, **summarize(history)}
                 for (method, dataset, scenario, aggregation), history

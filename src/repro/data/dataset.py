@@ -2,13 +2,17 @@
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass, field
 from typing import (Callable, Dict, Iterator, List, Mapping, Optional,
                     Tuple)
 
 import numpy as np
+
+# BoundedLRU lives in the neutral ``repro.util`` module (shared with the
+# broadcast worker cache and the checkpoint load memo); re-exported here
+# because the lazy data layer is where older callers historically found it.
+from ..util import BoundedLRU  # noqa: F401  (re-export)
 
 
 @dataclass
@@ -124,52 +128,6 @@ class ClientData:
     @property
     def num_train_examples(self) -> int:
         return len(self.train)
-
-
-class BoundedLRU:
-    """A small bounded LRU over an ``OrderedDict``.
-
-    The one cache-eviction policy shared by the lazy layers (shard map,
-    client-facade cache): touch on hit, insert then evict oldest while
-    over the bound.  Keeping it in one place keeps the O(cohort) memory
-    accounting identical everywhere it is used.
-    """
-
-    def __init__(self, bound: int) -> None:
-        if bound <= 0:
-            raise ValueError("cache bound must be positive")
-        self.bound = bound
-        self._entries: "OrderedDict" = OrderedDict()
-
-    def get(self, key):
-        """The cached value (refreshed to most-recent), or None."""
-        hit = self._entries.get(key)
-        if hit is not None:
-            self._entries.move_to_end(key)
-        return hit
-
-    def put(self, key, value) -> None:
-        self._entries[key] = value
-        self._evict()
-
-    def resize(self, bound: int) -> None:
-        if bound <= 0:
-            raise ValueError("cache bound must be positive")
-        self.bound = bound
-        self._evict()
-
-    def _evict(self) -> None:
-        while len(self._entries) > self.bound:
-            self._entries.popitem(last=False)
-
-    def clear(self) -> None:
-        self._entries.clear()
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __contains__(self, key) -> bool:
-        return key in self._entries
 
 
 class LazyShardMap(MappingABC):

@@ -18,9 +18,13 @@ import hashlib
 import json
 from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, Mapping, Optional, Union
+from typing import Dict, Optional, Union
 
 from ..systems.metrics import TrainingHistory
+# canonicalize moved to the neutral ``repro.util`` module so the checkpoint
+# digest and the cache keys share one definition of "the same spec";
+# re-exported here for the callers that historically imported it from us.
+from ..util import canonicalize  # noqa: F401  (re-export)
 from .presets import ExperimentPreset
 
 #: bump when the simulator's numerics change in a way that invalidates runs
@@ -32,41 +36,6 @@ from .presets import ExperimentPreset
 CACHE_VERSION = 2
 
 DEFAULT_CACHE_DIR = ".repro-cache"
-
-
-def canonicalize(value: object) -> object:
-    """Reduce a value to a pure-JSON form independent of construction order.
-
-    ``json.dumps(..., sort_keys=True)`` alone is not enough for stable keys:
-    non-string dict keys survive as insertion-ordered after a load/compare
-    round trip (``{1: x}`` dumps to ``{"1": x}`` and no longer equals the
-    original spec), sets have no defined order, and anything hitting a
-    ``default=repr`` fallback keeps whatever ordering its repr uses.  This
-    walk makes every mapping string-keyed and sorted, every set sorted, and
-    every exotic object an explicit repr — so two specs built with different
-    key insertion orders hash to the same cache entry and compare equal
-    after a JSON round trip.
-    """
-    if isinstance(value, Mapping):
-        keys = sorted(value, key=str)
-        if len({str(key) for key in keys}) != len(keys):
-            # e.g. {1: ..., "1": ...} — stringifying would silently drop an
-            # entry and make the result depend on insertion order; a loud
-            # error beats a wrong cache hit
-            raise ValueError(
-                f"mapping keys collide after str() conversion: {keys!r}")
-        return {str(key): canonicalize(value[key]) for key in keys}
-    if isinstance(value, (list, tuple)):
-        return [canonicalize(item) for item in value]
-    if isinstance(value, (set, frozenset)):
-        return sorted((canonicalize(item) for item in value), key=repr)
-    if isinstance(value, bool) or value is None or isinstance(value, str):
-        return value
-    if isinstance(value, int):
-        return int(value)
-    if isinstance(value, float):
-        return float(value)
-    return repr(value)
 
 
 def run_spec(method: str, preset: ExperimentPreset,

@@ -15,14 +15,15 @@ so repeated figure builds only pay for the runs whose spec actually changed.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..baselines import build_strategy
 from ..federated import FederatedTrainer
 from ..federated.strategy import Strategy
 from ..parallel import Executor
 from ..systems import TrainingHistory
-from .cache import ResultCache
+from .cache import ResultCache, run_spec, spec_key
 from .presets import ExperimentPreset, build_experiment, preset_for, scaled
 
 #: a fully-specified sweep job: (method, preset, strategy constructor kwargs)
@@ -34,7 +35,11 @@ def run_method(method: str, preset: ExperimentPreset, *,
                strategy_kwargs: Optional[dict] = None,
                executor: Optional[Executor] = None,
                cache: Optional[ResultCache] = None,
-               use_broadcast: bool = True) -> TrainingHistory:
+               use_broadcast: bool = True,
+               checkpoint_dir: Optional[Union[str, Path]] = None,
+               checkpoint_every: int = 1,
+               resume: bool = False,
+               stop_after_round: Optional[int] = None) -> TrainingHistory:
     """Run one method on one experiment preset and return its history.
 
     ``method`` is a registry name (see ``repro.baselines.available_strategies``);
@@ -45,6 +50,13 @@ def run_method(method: str, preset: ExperimentPreset, *,
     opts out of the shared-memory round broadcast (legacy per-task payloads,
     kept for the benchmark harness's bytes accounting — results are
     bit-identical either way).
+
+    ``checkpoint_dir`` turns on round-boundary checkpointing (see
+    :mod:`repro.checkpoint`); with ``resume=True`` the run continues from
+    the directory's latest checkpoint when one exists (bit-identical to an
+    uninterrupted run) and starts fresh otherwise, so retrying callers can
+    always pass it.  ``stop_after_round`` deterministically interrupts the
+    run after checkpointing that round (testing/CI preemption).
     """
     cacheable = cache is not None and strategy is None
     if cacheable:
@@ -57,11 +69,33 @@ def run_method(method: str, preset: ExperimentPreset, *,
     trainer = FederatedTrainer(strat, dataset, model_builder, config=config,
                                fleet=fleet, executor=executor,
                                use_broadcast=use_broadcast)
-    history = trainer.run()
+    history = trainer.run(
+        checkpoint_dir=None if checkpoint_dir is None else str(checkpoint_dir),
+        checkpoint_every=checkpoint_every,
+        resume_from="auto" if resume else None,
+        stop_after_round=stop_after_round)
     history.dataset = preset.dataset
     if cacheable:
         cache.put(method, preset, strategy_kwargs, history)
     return history
+
+
+def sweep_cell_dir(checkpoint_root: Union[str, Path], spec: JobSpec) -> Path:
+    """The per-cell checkpoint directory of one sweep job.
+
+    Keyed by the same content hash as the result cache, so a retried sweep
+    finds exactly its own cells — and a cell whose spec changed (different
+    seed, rounds, scenario) gets a fresh directory instead of tripping the
+    checkpoint digest check.
+    """
+    method, preset, strategy_kwargs = spec
+    digest = spec_key(run_spec(method, preset, strategy_kwargs))[:16]
+    safe_method = "".join(c if c.isalnum() else "_" for c in method)
+    return Path(checkpoint_root) / f"{safe_method}-{preset.dataset}-{digest}"
+
+
+#: payload of one resilient sweep job: (spec, cell checkpoint dir, retries)
+_ResilientJob = Tuple[JobSpec, Optional[str], int]
 
 
 def _sweep_job(spec: JobSpec) -> TrainingHistory:
@@ -70,15 +104,45 @@ def _sweep_job(spec: JobSpec) -> TrainingHistory:
     return run_method(method, preset, strategy_kwargs=strategy_kwargs)
 
 
+def _sweep_job_resilient(payload: _ResilientJob) -> TrainingHistory:
+    """Run one sweep job with in-worker retries from its last checkpoint.
+
+    Retrying must live *inside* the job function: executor backends
+    propagate a worker exception straight to the caller, which would take
+    the whole sweep down with it.  Every attempt resumes from the cell's
+    latest checkpoint, so attempt N+1 repeats only the rounds attempt N had
+    not yet persisted; the final attempt re-raises.
+    """
+    (method, preset, strategy_kwargs), cell_dir, retries = payload
+    for attempt in range(retries + 1):
+        try:
+            return run_method(method, preset, strategy_kwargs=strategy_kwargs,
+                              checkpoint_dir=cell_dir, resume=cell_dir is not None)
+        except Exception:
+            if attempt >= retries:
+                raise
+
+
 def run_jobs(specs: List[JobSpec], *, executor: Optional[Executor] = None,
-             cache: Optional[ResultCache] = None) -> List[TrainingHistory]:
+             cache: Optional[ResultCache] = None,
+             checkpoint_root: Optional[Union[str, Path]] = None,
+             retries: int = 0) -> List[TrainingHistory]:
     """Run every job spec, in parallel where possible, returning input order.
 
     Cache hits are filled in without dispatching a job; misses run on the
     executor and are written back to the cache as each job completes (in
     completion order, so a long sweep's cache grows incrementally even if it
     is interrupted).
+
+    With ``checkpoint_root`` set, each cell checkpoints into its own
+    spec-keyed subdirectory and failed cells are retried up to ``retries``
+    times *inside the worker*, resuming from their last checkpoint — a
+    transient failure in one cell costs at most that cell's unpersisted
+    rounds, never the sweep.  (``retries`` without a root still retries,
+    just from round 0.)
     """
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
     results: Dict[int, TrainingHistory] = {}
     pending: List[JobSpec] = []
     pending_positions: List[int] = []
@@ -90,7 +154,20 @@ def run_jobs(specs: List[JobSpec], *, executor: Optional[Executor] = None,
             pending.append(spec)
             pending_positions.append(position)
     if pending:
-        if executor is None:
+        resilient = checkpoint_root is not None or retries > 0
+        if resilient:
+            jobs: List[_ResilientJob] = [
+                (spec,
+                 str(sweep_cell_dir(checkpoint_root, spec))
+                 if checkpoint_root is not None else None,
+                 retries)
+                for spec in pending]
+            if executor is None:
+                completed = [(index, _sweep_job_resilient(job))
+                             for index, job in enumerate(jobs)]
+            else:
+                completed = executor.map_unordered(_sweep_job_resilient, jobs)
+        elif executor is None:
             completed = [(index, _sweep_job(spec))
                          for index, spec in enumerate(pending)]
         else:
@@ -105,35 +182,40 @@ def run_jobs(specs: List[JobSpec], *, executor: Optional[Executor] = None,
 
 def run_methods(methods: Iterable[str], preset: ExperimentPreset, *,
                 executor: Optional[Executor] = None,
-                cache: Optional[ResultCache] = None
-                ) -> Dict[str, TrainingHistory]:
+                cache: Optional[ResultCache] = None,
+                checkpoint_root: Optional[Union[str, Path]] = None,
+                retries: int = 0) -> Dict[str, TrainingHistory]:
     """Run several registry methods on the same preset."""
     methods = list(methods)
     histories = run_jobs([(method, preset, None) for method in methods],
-                         executor=executor, cache=cache)
+                         executor=executor, cache=cache,
+                         checkpoint_root=checkpoint_root, retries=retries)
     return dict(zip(methods, histories))
 
 
 def run_across_datasets(method: str, datasets: Iterable[str], *,
                         overrides: Optional[dict] = None,
                         executor: Optional[Executor] = None,
-                        cache: Optional[ResultCache] = None
-                        ) -> Dict[str, TrainingHistory]:
+                        cache: Optional[ResultCache] = None,
+                        checkpoint_root: Optional[Union[str, Path]] = None,
+                        retries: int = 0) -> Dict[str, TrainingHistory]:
     """Run one method on several datasets with shared preset overrides."""
     overrides = overrides or {}
     datasets = list(datasets)
     specs: List[JobSpec] = [
         (method, scaled(preset_for(dataset), **overrides), None)
         for dataset in datasets]
-    histories = run_jobs(specs, executor=executor, cache=cache)
+    histories = run_jobs(specs, executor=executor, cache=cache,
+                         checkpoint_root=checkpoint_root, retries=retries)
     return dict(zip(datasets, histories))
 
 
 def run_sweep(methods: Iterable[str], datasets: Iterable[str], *,
               overrides: Optional[dict] = None,
               executor: Optional[Executor] = None,
-              cache: Optional[ResultCache] = None
-              ) -> Dict[Tuple[str, str], TrainingHistory]:
+              cache: Optional[ResultCache] = None,
+              checkpoint_root: Optional[Union[str, Path]] = None,
+              retries: int = 0) -> Dict[Tuple[str, str], TrainingHistory]:
     """Run the full method × dataset grid behind the tables and figures.
 
     Returns a mapping from ``(method, dataset)`` to history.  With an
@@ -149,7 +231,8 @@ def run_sweep(methods: Iterable[str], datasets: Iterable[str], *,
     specs: List[JobSpec] = [
         (method, scaled(preset_for(dataset), **overrides), None)
         for method, dataset in grid]
-    histories = run_jobs(specs, executor=executor, cache=cache)
+    histories = run_jobs(specs, executor=executor, cache=cache,
+                         checkpoint_root=checkpoint_root, retries=retries)
     return dict(zip(grid, histories))
 
 
@@ -158,7 +241,9 @@ def run_scenario_sweep(methods: Iterable[str], datasets: Iterable[str],
                        aggregations: Iterable[str] = ("sync",), *,
                        overrides: Optional[dict] = None,
                        executor: Optional[Executor] = None,
-                       cache: Optional[ResultCache] = None
+                       cache: Optional[ResultCache] = None,
+                       checkpoint_root: Optional[Union[str, Path]] = None,
+                       retries: int = 0
                        ) -> Dict[Tuple[str, str, str, str], TrainingHistory]:
     """Run the method × dataset × scenario × aggregation grid.
 
@@ -193,7 +278,8 @@ def run_scenario_sweep(methods: Iterable[str], datasets: Iterable[str],
         (method, scaled(preset_for(dataset), scenario=scenario,
                         aggregation=aggregation, **overrides), None)
         for method, dataset, scenario, aggregation in grid]
-    histories = run_jobs(specs, executor=executor, cache=cache)
+    histories = run_jobs(specs, executor=executor, cache=cache,
+                         checkpoint_root=checkpoint_root, retries=retries)
     return dict(zip(grid, histories))
 
 

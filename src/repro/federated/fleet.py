@@ -31,8 +31,8 @@ from __future__ import annotations
 from collections.abc import Mapping as MappingABC
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
-from ..data.dataset import (BoundedLRU, FederatedDataset,
-                            mapping_client_ids)
+from ..data.dataset import FederatedDataset, mapping_client_ids
+from ..util import BoundedLRU
 from ..systems.devices import DeviceFleet
 from .client import Client
 
@@ -79,6 +79,16 @@ class FleetStateStore:
     def known_ids(self) -> List[int]:
         """Ids with a persisted state (i.e. clients that participated)."""
         return sorted(self._states)
+
+    def snapshot(self) -> Dict[int, Dict[str, Any]]:
+        """The ``{client_id: state}`` entries, id-sorted (checkpointing).
+
+        The returned dict is a fresh container but shares the state dicts;
+        the checkpoint layer deep-copies before persisting, so the sparse
+        O(participants) shape — never O(fleet) on a lazy fleet — is
+        preserved on disk.
+        """
+        return {cid: self._states[cid] for cid in sorted(self._states)}
 
     def __len__(self) -> int:
         return len(self._states)

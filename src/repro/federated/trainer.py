@@ -120,9 +120,22 @@ class FederatedTrainer:
         return self.core.context
 
     # ------------------------------------------------------------------ run
-    def run(self) -> TrainingHistory:
-        """Execute the configured scheduler and return the history."""
-        return self.core.run()
+    def run(self, *, checkpoint_dir: Optional[str] = None,
+            checkpoint_every: int = 1, resume_from=None,
+            stop_after_round: Optional[int] = None) -> TrainingHistory:
+        """Execute the configured scheduler and return the history.
+
+        The checkpoint knobs are forwarded to
+        :meth:`repro.server.core.ServerCore.run`: ``checkpoint_dir`` turns
+        on round-boundary checkpointing, ``resume_from`` (``"auto"``, a
+        path, or a loaded checkpoint) continues an interrupted run
+        bit-identically, ``stop_after_round`` is the deterministic
+        preemption used by the resume tests.
+        """
+        return self.core.run(checkpoint_dir=checkpoint_dir,
+                             checkpoint_every=checkpoint_every,
+                             resume_from=resume_from,
+                             stop_after_round=stop_after_round)
 
     def evaluate_personalized(self) -> float:
         """Average accuracy of every client's inference model on its test shard."""
@@ -139,9 +152,15 @@ def run_federated(strategy: Strategy, dataset: FederatedDataset,
                   fleet: Optional[DeviceFleet] = None,
                   cost_model: Optional[LocalCostModel] = None,
                   executor: Optional[Executor] = None,
-                  use_broadcast: bool = True) -> TrainingHistory:
+                  use_broadcast: bool = True,
+                  checkpoint_dir: Optional[str] = None,
+                  checkpoint_every: int = 1, resume_from=None,
+                  stop_after_round: Optional[int] = None) -> TrainingHistory:
     """Convenience wrapper: build a trainer and run it."""
     trainer = FederatedTrainer(strategy, dataset, model_builder, config=config,
                                fleet=fleet, cost_model=cost_model,
                                executor=executor, use_broadcast=use_broadcast)
-    return trainer.run()
+    return trainer.run(checkpoint_dir=checkpoint_dir,
+                       checkpoint_every=checkpoint_every,
+                       resume_from=resume_from,
+                       stop_after_round=stop_after_round)

@@ -35,11 +35,12 @@ import hashlib
 import os
 import pickle
 import threading
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
+
+from ..util import BoundedLRU
 
 try:  # pragma: no cover - import succeeds on every supported platform
     from multiprocessing import shared_memory as _shared_memory
@@ -272,14 +273,12 @@ def materialize(handle: BroadcastHandle) -> Tuple[Optional[Dict[str, np.ndarray]
     the round's fan-out completes and the worker cache evicts old rounds,
     neither of which may invalidate arrays still referenced by a task.)
     """
-    cache: "OrderedDict[Tuple[int, str], Tuple[Optional[Dict[str, np.ndarray]], Any]]"
-    cache = getattr(_worker_cache, "entries", None)
+    cache: BoundedLRU = getattr(_worker_cache, "entries", None)
     if cache is None:
-        cache = _worker_cache.entries = OrderedDict()
+        cache = _worker_cache.entries = BoundedLRU(CACHE_LIMIT)
     key = handle.cache_key
     hit = cache.get(key)
     if hit is not None:
-        cache.move_to_end(key)
         _bump(materialize_hits=1)
         return hit
 
@@ -298,8 +297,6 @@ def materialize(handle: BroadcastHandle) -> Tuple[Optional[Dict[str, np.ndarray]
     payload = pickle.loads(
         raw[handle.blob_offset:handle.blob_offset + handle.blob_nbytes])
     entry = (params, payload)
-    cache[key] = entry
-    while len(cache) > CACHE_LIMIT:
-        cache.popitem(last=False)
+    cache.put(key, entry)
     _bump(materializations=1)
     return entry

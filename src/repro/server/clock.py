@@ -71,6 +71,16 @@ class EventQueue:
             events.append(self.pop())
         return events
 
+    def snapshot(self) -> List[ClientEvent]:
+        """Every queued event in ``(finish_time, client_id)`` order.
+
+        Non-destructive (used by checkpointing); the sort key is a total
+        order because a client has at most one event in flight, so the
+        snapshot — and a queue rebuilt by pushing it back — is
+        deterministic regardless of internal heap layout.
+        """
+        return [entry[2] for entry in sorted(self._heap)]
+
     def __len__(self) -> int:
         return len(self._heap)
 

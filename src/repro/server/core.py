@@ -299,13 +299,39 @@ class ServerCore:
             rng=np.random.default_rng(self.config.seed))
 
     # ------------------------------------------------------------------ run
-    def run(self) -> TrainingHistory:
-        """Build the configured scheduler and drive it to completion."""
+    def run(self, *, checkpoint_dir: Optional[str] = None,
+            checkpoint_every: int = 1, resume_from=None,
+            stop_after_round: Optional[int] = None) -> TrainingHistory:
+        """Build the configured scheduler and drive it to completion.
+
+        ``checkpoint_dir`` enables round-boundary checkpointing (every
+        ``checkpoint_every`` rounds).  ``resume_from`` continues an earlier
+        run: ``"auto"`` resumes from the directory's latest checkpoint (or
+        starts fresh when there is none), a path loads that file/directory,
+        and a loaded :class:`~repro.checkpoint.RunCheckpoint` is used as-is
+        — resuming refuses a checkpoint whose run digest does not match
+        this core.  ``stop_after_round`` deterministically interrupts the
+        run (checkpoint first, then raise
+        :class:`~repro.checkpoint.TrainingInterrupted`), which is how the
+        resume tests and the CI smoke job simulate preemption.
+        """
+        from ..checkpoint import CheckpointManager, resolve_resume
         from .scheduler import build_scheduler
 
         scheduler = build_scheduler(self.config)
+        checkpointer = None
+        if checkpoint_dir is not None:
+            checkpointer = CheckpointManager(checkpoint_dir,
+                                             every=checkpoint_every,
+                                             stop_after_round=stop_after_round)
+        elif stop_after_round is not None:
+            raise ValueError("stop_after_round requires a checkpoint_dir "
+                             "(interrupting without a checkpoint would "
+                             "discard the run)")
+        resume = resolve_resume(resume_from, checkpointer)
         try:
-            return scheduler.run(self)
+            return scheduler.run(self, checkpointer=checkpointer,
+                                 resume=resume)
         finally:
             self.close()
 

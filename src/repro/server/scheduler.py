@@ -50,10 +50,11 @@ Async round shape
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Type
+from typing import Any, Dict, List, Optional, Type
 
 import numpy as np
 
+from ..checkpoint import CheckpointManager, RunCheckpoint, restore_run
 from ..federated.config import AGGREGATIONS, FederatedConfig
 from ..systems.cost import CostBreakdown, LocalCostModel
 from ..systems.metrics import RoundRecord, TrainingHistory
@@ -63,11 +64,34 @@ from .policy import AggregationPolicy, Arrival
 
 
 class Scheduler:
-    """Protocol: drive a :class:`ServerCore` through one training run."""
+    """Protocol: drive a :class:`ServerCore` through one training run.
+
+    Checkpoint contract
+        ``run`` accepts an optional :class:`~repro.checkpoint
+        .CheckpointManager` (round-boundary snapshots) and an optional
+        :class:`~repro.checkpoint.RunCheckpoint` to resume from.  A
+        scheduler exposes its *own* mutable run state — beyond what the
+        core/strategy/history carry — through ``state_dict`` /
+        ``load_state_dict``; restoration happens after ``setup``/``reset``
+        and must make the continued run bit-identical to one that never
+        stopped (the golden resume suite enforces this per scheduler).
+    """
 
     name = "base"
 
-    def run(self, core: ServerCore) -> TrainingHistory:
+    def reset(self) -> None:
+        """Clear per-run state; called at the start of every :meth:`run`."""
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Scheduler-owned mutable state at a round boundary."""
+        return {}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Inverse of :meth:`state_dict`; called on a freshly reset instance."""
+
+    def run(self, core: ServerCore, *,
+            checkpointer: Optional[CheckpointManager] = None,
+            resume: Optional[RunCheckpoint] = None) -> TrainingHistory:
         raise NotImplementedError
 
 
@@ -81,15 +105,26 @@ class SyncScheduler(Scheduler):
 
     name = "sync"
 
-    def run(self, core: ServerCore) -> TrainingHistory:
+    def run(self, core: ServerCore, *,
+            checkpointer: Optional[CheckpointManager] = None,
+            resume: Optional[RunCheckpoint] = None) -> TrainingHistory:
         config = core.config
         history = TrainingHistory(method=core.strategy.name,
                                   dataset=core.dataset.name)
         core.strategy.setup(core.context)
-        cumulative_flops = 0.0
-        cumulative_time = 0.0
-        cumulative_sim_time = 0.0
-        for round_index in range(config.num_rounds):
+        self.reset()
+        start_round = 0
+        if resume is not None:
+            # after setup: restoration overwrites the fresh-run state that
+            # setup installed (global params, state store, context rng)
+            start_round = restore_run(core, self, resume, history)
+        # the cumulative counters are recoverable from the history itself,
+        # so they are round-boundary state that never needs separate capture
+        last = history.records[-1] if history.records else None
+        cumulative_flops = last.cumulative_flops if last else 0.0
+        cumulative_time = last.cumulative_time_seconds if last else 0.0
+        cumulative_sim_time = last.cumulative_sim_time if last else 0.0
+        for round_index in range(start_round, config.num_rounds):
             selected = core.select_clients(round_index)
             active, unavailable = core.split_available(round_index, selected)
             updates = core.run_local_updates(round_index, active)
@@ -134,6 +169,8 @@ class SyncScheduler(Scheduler):
                 cumulative_sim_time=cumulative_sim_time,
                 dropped=sorted(unavailable) + list(outcome.stragglers),
                 straggler_count=len(outcome.stragglers)))
+            if checkpointer is not None:
+                checkpointer.after_round(core, self, history, round_index)
         return history
 
 
@@ -148,11 +185,39 @@ class _EventDrivenScheduler(Scheduler):
 
     def __init__(self) -> None:
         self._version = 0
+        self._queue = EventQueue()
+        self._clock = SimClock()
+        self._in_flight: set = set()
 
     # ------------------------------------------------------------- subclass
     def reset(self) -> None:
         """Clear per-run state; called at the start of every :meth:`run`."""
         self._version = 0
+        self._queue = EventQueue()
+        self._clock = SimClock()
+        self._in_flight = set()
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Version counter, sim clock, in-flight pool and queued events.
+
+        The events ride in the queue's deterministic ``(finish_time,
+        client_id)`` snapshot order, so two checkpoints of the same run
+        state are byte-identical regardless of internal heap layout.
+        """
+        return {
+            "version": self._version,
+            "clock_now": self._clock.now,
+            "in_flight": sorted(self._in_flight),
+            "events": self._queue.snapshot(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._version = int(state["version"])
+        self._clock = SimClock(state["clock_now"])
+        self._in_flight = set(state["in_flight"])
+        self._queue = EventQueue()
+        for event in state["events"]:
+            self._queue.push(event)
 
     def arrivals_per_round(self, config: FederatedConfig) -> int:
         raise NotImplementedError
@@ -178,21 +243,29 @@ class _EventDrivenScheduler(Scheduler):
         return set()
 
     # ------------------------------------------------------------------ run
-    def run(self, core: ServerCore) -> TrainingHistory:
+    def run(self, core: ServerCore, *,
+            checkpointer: Optional[CheckpointManager] = None,
+            resume: Optional[RunCheckpoint] = None) -> TrainingHistory:
         config = core.config
         policy = AggregationPolicy(alpha=config.async_alpha,
                                    exponent=config.staleness_exponent)
-        queue = EventQueue()
-        clock = SimClock()
         history = TrainingHistory(method=core.strategy.name,
                                   dataset=core.dataset.name)
         core.strategy.setup(core.context)
         self.reset()
-        in_flight: set = set()
-        cumulative_flops = 0.0
-        cumulative_time = 0.0
+        start_round = 0
+        if resume is not None:
+            # restores the version counter, sim clock, in-flight pool and
+            # queued events (and the FedBuff buffer) alongside the core
+            start_round = restore_run(core, self, resume, history)
+        queue = self._queue
+        clock = self._clock
+        in_flight = self._in_flight
+        last = history.records[-1] if history.records else None
+        cumulative_flops = last.cumulative_flops if last else 0.0
+        cumulative_time = last.cumulative_time_seconds if last else 0.0
         target = self.arrivals_per_round(config)
-        for round_index in range(config.num_rounds):
+        for round_index in range(start_round, config.num_rounds):
             round_start = clock.now
             selected = core.select_clients(round_index)
             available, unavailable = core.split_available(round_index,
@@ -269,6 +342,8 @@ class _EventDrivenScheduler(Scheduler):
                 dropped=sorted(unavailable) + busy,
                 staleness_mean=staleness_mean,
                 buffer_size=self.pending_buffer()))
+            if checkpointer is not None:
+                checkpointer.after_round(core, self, history, round_index)
         # in-flight work (and any partial buffer) at run end is discarded:
         # the server stopped training, exactly like a synchronous run drops
         # stragglers — their compute/upload was already billed at dispatch
@@ -314,6 +389,15 @@ class BufferedScheduler(_EventDrivenScheduler):
         # never-flushed tail into the next run's first flush
         super().reset()
         self._buffer = []
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["buffer"] = list(self._buffer)
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        self._buffer = list(state["buffer"])
 
     def arrivals_per_round(self, config: FederatedConfig) -> int:
         if config.async_arrivals_per_round is not None:
