@@ -2,6 +2,7 @@
 
 from .checkpoint import (format_checkpoint_report, measure_checkpoint,
                          run_checkpoint_bench)
+from .codec import format_codec_report, measure_codec, run_codec_bench
 from .fanout import (BENCH_METHOD, fanout_preset, format_bench_report,
                      measure_aggregation_modes, measure_fanout_bytes,
                      run_fanout_bench)
@@ -13,6 +14,9 @@ __all__ = [
     "format_checkpoint_report",
     "measure_checkpoint",
     "run_checkpoint_bench",
+    "format_codec_report",
+    "measure_codec",
+    "run_codec_bench",
     "fanout_preset",
     "format_bench_report",
     "measure_aggregation_modes",

@@ -1,0 +1,204 @@
+"""Wire-codec benchmark: bytes crossing the client/server boundary per codec.
+
+``repro bench --codec-scale`` runs the fan-out workload (FedLPS on the MNIST
+preset — the method whose uploads are mask-sparse residuals) once per wire
+codec and totals the per-round wire reports the server records in
+``RoundRecord.extras``: encoded upload/download bytes against the dense
+float64 baseline, plus the mask density the sparse codec saw.  The dense
+baseline needs no extra run — every cell reports the dense byte count of the
+same arrays it encoded, so ``upload_ratio`` compares like with like.
+
+Two correctness clauses ride along with the byte accounting: lossless codecs
+must reproduce the dense reference history bit-for-bit once the wire-report
+extras are stripped, and lossy codecs report their accuracy delta against
+the same reference (the accuracy-vs-uplink-bytes axis).  The report lands in
+``BENCH_codec.json``, schema-compatible with the ``BENCH_fanout`` family
+(``bench_scale``, ``cpu_count``, ``gate``), so future PRs have a byte
+trajectory to move.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from ..experiments import run_method, scaled
+from ..parallel.codec import LOSSLESS_CODECS
+from ..systems.metrics import TrainingHistory
+from .fanout import BENCH_METHOD, fanout_preset
+
+#: codecs benchmarked by default — every registered codec but the baseline
+BENCH_CODECS = ("sparse", "int8", "pq")
+
+#: the gate's sparse contract: at mask density at or under the ceiling, the
+#: sparse codec's wire bytes must come in at or under this dense fraction
+GATE_DENSITY_CEILING = 0.5
+GATE_SPARSE_RATIO = 0.5
+
+#: the wire-report keys summed over rounds (see ``ServerCore.take_wire_report``)
+_WIRE_TOTALS = ("wire_upload_bytes", "wire_upload_dense_bytes",
+                "wire_download_bytes", "wire_download_dense_bytes")
+
+
+def _strip_wire(history_dict: Dict[str, object]) -> Dict[str, object]:
+    """A deep copy of a history dict with the wire-report extras removed.
+
+    The wire report is the one place a non-dense run's history legitimately
+    differs from the dense reference, so lossless bit-identity is asserted
+    on everything else.
+    """
+    clone = json.loads(json.dumps(history_dict))
+    for record in clone.get("records", []):
+        extras = record.get("extras", {})
+        for key in [key for key in extras if key.startswith("wire_")]:
+            del extras[key]
+    return clone
+
+
+def measure_codec(preset, codec: str,
+                  reference: TrainingHistory
+                  ) -> Dict[str, object]:
+    """One codec cell: wire-byte totals, density, and the accuracy contract.
+
+    ``reference`` is the dense run of the same preset; lossless cells are
+    checked bit-identical against it (wire extras stripped), lossy cells
+    report their accuracy delta.
+    """
+    history = run_method(BENCH_METHOD, scaled(preset, codec=codec))
+    totals = {key: 0.0 for key in _WIRE_TOTALS}
+    densities = []
+    for record in history.records:
+        for key in _WIRE_TOTALS:
+            totals[key] += record.extras.get(key, 0.0)
+        if "wire_upload_density" in record.extras:
+            densities.append(record.extras["wire_upload_density"])
+    dense_bytes = totals["wire_upload_dense_bytes"]
+    cell: Dict[str, object] = {
+        "codec": codec,
+        "lossless": codec in LOSSLESS_CODECS,
+        "upload_bytes": totals["wire_upload_bytes"],
+        "upload_dense_bytes": dense_bytes,
+        "upload_ratio": (totals["wire_upload_bytes"] / dense_bytes
+                         if dense_bytes else None),
+        "download_bytes": totals["wire_download_bytes"],
+        "download_dense_bytes": totals["wire_download_dense_bytes"],
+        "mask_density": (sum(densities) / len(densities)
+                         if densities else None),
+        "final_accuracy": history.final_accuracy(),
+        "best_accuracy": history.best_accuracy(),
+    }
+    if codec in LOSSLESS_CODECS:
+        cell["matches_dense_reference"] = \
+            _strip_wire(history.to_dict()) == reference.to_dict()
+    else:
+        cell["accuracy_delta"] = \
+            history.final_accuracy() - reference.final_accuracy()
+    return cell
+
+
+def _gate(cells: Dict[str, Dict[str, object]]) -> Dict[str, object]:
+    """Pass/fail: every codec beats dense, sparse meets its ratio budget.
+
+    Three clauses: (a) each benchmarked codec's wire bytes land strictly
+    below the dense baseline, (b) lossless codecs reproduced the dense
+    reference bit-for-bit, and (c) when the sparse codec saw mask density at
+    or under the ceiling, its wire bytes came in at or under the budgeted
+    fraction of dense (vacuous at higher densities, where a bitmap+values
+    layout legitimately approaches parity).
+    """
+    ratios = {name: cell["upload_ratio"] for name, cell in cells.items()}
+    below_dense = all(ratio is not None and ratio < 1.0
+                      for ratio in ratios.values())
+    lossless_ok = all(cell.get("matches_dense_reference", True)
+                      for cell in cells.values())
+    sparse = cells.get("sparse")
+    density = sparse["mask_density"] if sparse else None
+    sparse_applicable = density is not None and density <= GATE_DENSITY_CEILING
+    sparse_ok = (not sparse_applicable
+                 or sparse["upload_ratio"] <= GATE_SPARSE_RATIO)
+    return {
+        "pass": bool(below_dense and lossless_ok and sparse_ok),
+        "all_below_dense": below_dense,
+        "lossless_bit_identical": lossless_ok,
+        "upload_ratios": ratios,
+        "sparse_mask_density": density,
+        "density_ceiling": GATE_DENSITY_CEILING,
+        "sparse_ratio_budget": GATE_SPARSE_RATIO,
+        "sparse_budget_applies": sparse_applicable,
+    }
+
+
+def run_codec_bench(scale: float = 1.0,
+                    codecs: Iterable[str] = BENCH_CODECS,
+                    output: Optional[str] = None) -> Dict[str, object]:
+    """Run the codec benchmark and return (optionally write) the report.
+
+    ``scale`` multiplies the fan-out workload, the same convention as
+    ``repro bench --scale``; one dense reference run anchors the lossless
+    and accuracy checks for every codec cell.
+    """
+    preset = fanout_preset(scale)
+    reference = run_method(BENCH_METHOD, preset)
+    cells: Dict[str, Dict[str, object]] = {}
+    for codec in codecs:
+        cells[codec] = measure_codec(preset, codec, reference)
+    report: Dict[str, object] = {
+        "bench_scale": scale,
+        "method": BENCH_METHOD,
+        "workload": {
+            "dataset": preset.dataset,
+            "num_clients": preset.num_clients,
+            "clients_per_round": preset.clients_per_round,
+            "num_rounds": preset.num_rounds,
+            "local_iterations": preset.local_iterations,
+        },
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "cpu_count": os.cpu_count(),
+        "dense_reference": {
+            "final_accuracy": reference.final_accuracy(),
+            "best_accuracy": reference.best_accuracy(),
+        },
+        "codecs": cells,
+        "gate": _gate(cells),
+    }
+    if output:
+        Path(output).write_text(json.dumps(report, indent=2, sort_keys=True))
+    return report
+
+
+def format_codec_report(report: Dict[str, object]) -> str:
+    """Render a codec report as the aligned text table the CLI prints."""
+    lines = [f"# repro bench --codec-scale {report['bench_scale']} — "
+             f"method {report['method']}, cpu_count {report['cpu_count']}"]
+    header = (f"{'codec':>8s} | {'upload_B':>10s} | {'dense_B':>10s} | "
+              f"{'ratio':>6s} | {'density':>7s} | {'accuracy':>8s} | "
+              f"{'contract':>9s}")
+    lines += [header, "-" * len(header)]
+    for name, cell in report["codecs"].items():
+        density = cell["mask_density"]
+        if cell["lossless"]:
+            contract = ("identical" if cell["matches_dense_reference"]
+                        else "DIVERGED")
+        else:
+            contract = f"{cell['accuracy_delta']:+.4f}"
+        lines.append(
+            f"{name:>8s} | {cell['upload_bytes']:>10.0f} | "
+            f"{cell['upload_dense_bytes']:>10.0f} | "
+            f"{cell['upload_ratio']:>6.3f} | "
+            f"{'-' if density is None else format(density, '.3f'):>7s} | "
+            f"{cell['final_accuracy']:>8.4f} | {contract:>9s}")
+    gate = report["gate"]
+    budget = (f"sparse density {gate['sparse_mask_density']:.3f} <= "
+              f"{gate['density_ceiling']} -> ratio budget "
+              f"{gate['sparse_ratio_budget']}"
+              if gate["sparse_budget_applies"]
+              else "sparse ratio budget not applicable")
+    lines.append(f"gate: all-below-dense {gate['all_below_dense']}, "
+                 f"lossless-identical {gate['lossless_bit_identical']}, "
+                 f"{budget} -> {'PASS' if gate['pass'] else 'FAIL'}")
+    return "\n".join(lines)

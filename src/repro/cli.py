@@ -41,7 +41,8 @@ from .experiments import (DATASETS, DEFAULT_CACHE_DIR, ResultCache,
                           format_rows, preset_for, run_method,
                           run_scenario_sweep, scaled, summarize,
                           table1_accuracy_flops)
-from .parallel import available_backends, resolve_executor
+from .parallel import (available_backends, available_codecs,
+                       resolve_executor)
 from .scenarios import available_scenarios
 from .server import available_aggregations
 
@@ -72,6 +73,8 @@ def _preset_overrides(args: argparse.Namespace) -> dict:
         overrides["scenario"] = args.scenario
     if getattr(args, "aggregation", None) is not None:
         overrides["aggregation"] = args.aggregation
+    if getattr(args, "codec", None) is not None:
+        overrides["codec"] = args.codec
     return overrides
 
 
@@ -95,6 +98,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
                         help="server aggregation mode: sync (synchronous "
                              "rounds), fedasync (staleness-weighted, every "
                              "arrival) or fedbuff (buffered); default: sync")
+    parser.add_argument("--codec", default=None,
+                        choices=available_codecs(),
+                        help="wire codec for the client/server round trip: "
+                             "dense (raw arrays), sparse (lossless indexed "
+                             "slices), int8 (learned-scale quantization) or "
+                             "pq (product quantization); default: dense")
     parser.add_argument("--rounds", type=int, default=None)
     parser.add_argument("--clients", type=int, default=None)
     parser.add_argument("--clients-per-round", type=int, default=None)
@@ -114,6 +123,24 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _executor_from(args: argparse.Namespace):
     return resolve_executor(args.backend, args.workers)
+
+
+def _fanout_only_clashes(args: argparse.Namespace) -> List[str]:
+    """Fan-out bench flags the alternate bench axes would silently ignore.
+
+    Silently dropping them would look like they were honored (e.g. a
+    missing report file, or an unexpectedly long run), so the axis
+    dispatchers reject the invocation instead.
+    """
+    fanout_only = {
+        "--output": args.output is not None,
+        "--scale": args.scale != BENCH_SCALE_DEFAULT,
+        "--backends": args.backends != list(available_backends()),
+        "--workers-list": args.workers_list != BENCH_WORKERS_DEFAULT,
+        "--repeats": args.repeats != BENCH_REPEATS_DEFAULT,
+        "--aggregations": args.aggregations != list(available_aggregations()),
+    }
+    return [flag for flag, used in fanout_only.items() if used]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -166,6 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
                               choices=available_aggregations(),
                               help="server aggregation modes to sweep "
                                    "(sync-vs-async time-to-accuracy grids)")
+    sweep_parser.add_argument("--codecs", nargs="+", default=["dense"],
+                              choices=available_codecs(),
+                              help="wire codecs to sweep (adds codec and "
+                                   "wire_upload_bytes columns when more "
+                                   "than plain dense is requested)")
     sweep_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                               help="directory of the JSON result cache")
     sweep_parser.add_argument("--no-cache", action="store_true",
@@ -233,6 +265,17 @@ def build_parser() -> argparse.ArgumentParser:
                               default="BENCH_checkpoint.json",
                               help="where to write the checkpoint JSON "
                                    "report ('' skips writing)")
+    bench_parser.add_argument("--codec-scale", type=float, default=None,
+                              help="run the wire-codec axis instead: total "
+                                   "the per-round encoded upload/download "
+                                   "bytes of every codec against the dense "
+                                   "baseline (x SCALE fan-out workload), "
+                                   "gating that lossless codecs stay "
+                                   "bit-identical and sparse meets its "
+                                   "byte budget; written to --codec-output")
+    bench_parser.add_argument("--codec-output", default="BENCH_codec.json",
+                              help="where to write the codec JSON report "
+                                   "('' skips writing)")
 
     sub.add_parser("list", help="list available methods")
     return parser
@@ -247,21 +290,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "bench":
-        if args.fleet_scale is not None and args.checkpoint_scale is not None:
-            print("bench --fleet-scale and --checkpoint-scale are separate "
-                  "axes; run them as two invocations", flush=True)
+        axes = [flag for flag, value in (
+            ("--fleet-scale", args.fleet_scale),
+            ("--checkpoint-scale", args.checkpoint_scale),
+            ("--codec-scale", args.codec_scale)) if value is not None]
+        if len(axes) > 1:
+            print(f"bench {' and '.join(axes)} are separate axes; run them "
+                  "as separate invocations", flush=True)
             return 2
+        if args.codec_scale is not None:
+            clashes = _fanout_only_clashes(args)
+            if clashes:
+                print(f"bench --codec-scale ignores {', '.join(clashes)} — "
+                      "those apply only to the fan-out bench (the codec "
+                      "axis writes its report to --codec-output)",
+                      flush=True)
+                return 2
+            from .benchmarking import format_codec_report, run_codec_bench
+            report = run_codec_bench(scale=args.codec_scale,
+                                     output=args.codec_output or None)
+            print(format_codec_report(report))
+            if args.codec_output:
+                print(f"# report written to {args.codec_output}")
+            if args.check and not report["gate"]["pass"]:
+                return 1
+            return 0
         if args.checkpoint_scale is not None:
-            fanout_only = {
-                "--output": args.output is not None,
-                "--scale": args.scale != BENCH_SCALE_DEFAULT,
-                "--backends": args.backends != list(available_backends()),
-                "--workers-list": args.workers_list != BENCH_WORKERS_DEFAULT,
-                "--repeats": args.repeats != BENCH_REPEATS_DEFAULT,
-                "--aggregations": args.aggregations
-                                  != list(available_aggregations()),
-            }
-            clashes = [flag for flag, used in fanout_only.items() if used]
+            clashes = _fanout_only_clashes(args)
             if clashes:
                 print(f"bench --checkpoint-scale ignores "
                       f"{', '.join(clashes)} — those apply only to the "
@@ -280,19 +335,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 1
             return 0
         if args.fleet_scale is not None:
-            # the fleet axis has its own knobs; silently dropping fan-out
-            # flags would look like they were honored (e.g. a missing
-            # report file, or an unexpectedly long 100k/1M run)
-            fanout_only = {
-                "--output": args.output is not None,
-                "--scale": args.scale != BENCH_SCALE_DEFAULT,
-                "--backends": args.backends != list(available_backends()),
-                "--workers-list": args.workers_list != BENCH_WORKERS_DEFAULT,
-                "--repeats": args.repeats != BENCH_REPEATS_DEFAULT,
-                "--aggregations": args.aggregations
-                                  != list(available_aggregations()),
-            }
-            clashes = [flag for flag, used in fanout_only.items() if used]
+            clashes = _fanout_only_clashes(args)
             if clashes:
                 print(f"bench --fleet-scale ignores {', '.join(clashes)} — "
                       "those apply only to the fan-out bench (the fleet "
@@ -385,6 +428,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides = _preset_overrides(args)
         overrides.pop("scenario", None)
         overrides.pop("aggregation", None)
+        overrides.pop("codec", None)
         scenarios = list(args.scenarios)
         if args.scenario is not None and args.scenario not in scenarios:
             scenarios.append(args.scenario)
@@ -392,19 +436,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         if (args.aggregation is not None
                 and args.aggregation not in aggregations):
             aggregations.append(args.aggregation)
+        codecs = list(args.codecs)
+        if args.codec is not None and args.codec not in codecs:
+            codecs.append(args.codec)
+        histories = {}
         with _executor_from(args) as executor:
-            histories = run_scenario_sweep(args.methods, args.datasets,
-                                           scenarios, aggregations,
-                                           overrides=overrides,
-                                           executor=executor, cache=cache,
-                                           checkpoint_root=args.checkpoint_dir,
-                                           retries=args.retries)
+            # the codec axis loops outside run_scenario_sweep: each codec
+            # rides the preset (so cells cache-key like any other field)
+            for codec in codecs:
+                cells = run_scenario_sweep(
+                    args.methods, args.datasets, scenarios, aggregations,
+                    overrides={**overrides, "codec": codec},
+                    executor=executor, cache=cache,
+                    checkpoint_root=args.checkpoint_dir,
+                    retries=args.retries)
+                for key, history in cells.items():
+                    histories[key + (codec,)] = history
         rows = [{"method": method, "dataset": dataset, "scenario": scenario,
-                 "aggregation": aggregation, **summarize(history)}
-                for (method, dataset, scenario, aggregation), history
+                 "aggregation": aggregation, "codec": codec,
+                 **summarize(history)}
+                for (method, dataset, scenario, aggregation, codec), history
                 in histories.items()]
-        print(format_rows(rows, ["method", "dataset", "scenario",
-                                 "aggregation"] + SUMMARY_COLUMNS))
+        columns = ["method", "dataset", "scenario", "aggregation"]
+        summary_columns = list(SUMMARY_COLUMNS)
+        if codecs != ["dense"]:
+            columns.append("codec")
+            summary_columns.append("wire_upload_bytes")
+        print(format_rows(rows, columns + summary_columns))
         if cache is not None:
             print(f"# cache: {cache.hits} hit(s), {cache.misses} miss(es) "
                   f"in {cache.directory}")

@@ -18,6 +18,7 @@ from ..data import FederatedDataset, build_federated_dataset
 from ..federated import AGGREGATIONS, FederatedConfig, FleetConfig
 from ..models import build_model_for_dataset
 from ..nn.model import Sequential
+from ..parallel.codec import available_codecs
 from ..scenarios import available_scenarios, build_scenario
 from ..systems import DeviceFleet, sample_device_fleet
 from ..systems.devices import HETEROGENEITY_PRESETS
@@ -49,6 +50,10 @@ class ExperimentPreset:
     #: server aggregation mode (see ``repro.server.scheduler``): "sync",
     #: "fedasync" or "fedbuff" — keys the result cache like the scenario
     aggregation: str = "sync"
+    #: wire codec for the parameter round trip (``repro.parallel.codec``):
+    #: "dense" (historical raw blocks), "sparse" (lossless indexed slices),
+    #: "int8"/"pq" (lossy low-precision) — keys the result cache
+    codec: str = "dense"
     #: lazy O(cohort) fleet materialization (the default); False retains the
     #: eager build-everything-up-front path.  Cache-keyed like every field.
     lazy_fleet: bool = True
@@ -111,6 +116,10 @@ def build_experiment(preset: ExperimentPreset
         raise ValueError(
             f"unknown aggregation mode {preset.aggregation!r}; "
             f"choose from {AGGREGATIONS}")
+    if preset.codec not in available_codecs():
+        raise ValueError(
+            f"unknown codec {preset.codec!r}; "
+            f"choose from {available_codecs()}")
     dataset = build_federated_dataset(
         preset.dataset, preset.num_clients,
         classes_per_client=preset.classes_per_client,
@@ -130,6 +139,7 @@ def build_experiment(preset: ExperimentPreset
                                 num_rounds=preset.num_rounds,
                                 seed=preset.seed),
         aggregation=preset.aggregation,
+        codec=preset.codec,
         fleet=FleetConfig(lazy=preset.lazy_fleet,
                           eval_clients=preset.eval_clients),
         extra=dict(preset.extra_config))

@@ -292,12 +292,17 @@ def summarize(history: TrainingHistory, *, last_rounds: int = 3,
     it never does), which stays comparable across scenarios that drop
     clients or idle until deadlines.
     """
+    # wire byte totals exist only for runs under a non-dense codec (the
+    # per-round reports live in RoundRecord.extras); None otherwise
+    wire_upload = sum(record.extras.get("wire_upload_bytes", 0.0)
+                      for record in history.records)
     return {
         "accuracy": history.final_accuracy(last_rounds),
         "best_accuracy": history.best_accuracy(),
         "total_flops": history.total_flops,
         "total_time_seconds": history.total_time_seconds,
         "total_upload_bytes": history.total_upload_bytes,
+        "wire_upload_bytes": wire_upload if wire_upload else None,
         "sim_time_seconds": history.total_sim_time,
         "time_to_accuracy_seconds": history.time_to_fraction(tta_fraction),
         "dropped_clients": history.total_dropped,

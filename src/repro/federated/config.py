@@ -95,6 +95,12 @@ class FederatedConfig:
     # None picks the scheduler default (clients_per_round for fedasync,
     # buffer_size for fedbuff)
     async_arrivals_per_round: Optional[int] = None
+    # wire codec for the parameter round trip (``repro.parallel.codec``):
+    # "dense" is the historical raw-float64 wire format; "sparse" is a
+    # lossless indexed-slice delta (bit-identical histories, fewer uplink
+    # bytes); "int8"/"pq" are lossy low-precision modes with their own
+    # golden fixtures
+    codec: str = "dense"
     # client-fleet materialization: lazy O(cohort) fleets (default) vs the
     # retained eager path, shard-cache bound, evaluation-sweep cap
     fleet: FleetConfig = field(default_factory=FleetConfig)
@@ -126,5 +132,11 @@ class FederatedConfig:
         if (self.async_arrivals_per_round is not None
                 and self.async_arrivals_per_round <= 0):
             raise ValueError("async_arrivals_per_round must be positive")
+        # imported here to keep config importable without the parallel stack
+        from ..parallel.codec import available_codecs
+
+        if self.codec not in available_codecs():
+            raise ValueError(f"unknown codec {self.codec!r}; "
+                             f"choose from {available_codecs()}")
         if not isinstance(self.fleet, FleetConfig):
             raise TypeError("fleet must be a FleetConfig")

@@ -128,6 +128,65 @@ def num_parameters(params: Mapping[str, np.ndarray]) -> int:
     return int(sum(value.size for value in params.values()))
 
 
+def param_nbytes(params: Mapping[str, np.ndarray]) -> int:
+    """Total dense bytes of a parameter dictionary (wire accounting)."""
+    return int(sum(value.nbytes for value in params.values()))
+
+
+def indexed_subtract_scaled(global_array: np.ndarray, factor: float,
+                            value_indices: np.ndarray, values: np.ndarray,
+                            negzero_indices: np.ndarray,
+                            out: np.ndarray) -> np.ndarray:
+    """``out = (global_array - sparse) * factor`` without densifying.
+
+    The sparse operand is given in indexed-slice form: explicit ``values``
+    at flat ``value_indices``, exact ``-0.0`` at ``negzero_indices`` and
+    ``+0.0`` everywhere else.  Bit-identical to the dense expression at
+    every position:
+
+    * elsewhere, ``(g - (+0.0)) * f`` — IEEE-754 guarantees ``g - 0.0 == g``
+      bit-for-bit (including for ``g = -0.0`` and NaN), so the bulk
+      ``g * f`` below already matches;
+    * at ``negzero_indices``, ``g - (-0.0) == g + 0.0`` which is *not*
+      ``g`` when ``g`` is ``-0.0`` (it is ``+0.0``), so those positions are
+      recomputed explicitly as ``(g + 0.0) * f``;
+    * at ``value_indices``, ``(g - value) * f``, computed explicitly.
+
+    ``out`` must be C-contiguous (``reshape(-1)`` must be a view).
+    """
+    np.multiply(global_array, factor, out=out)
+    flat_out = out.reshape(-1)
+    flat_global = global_array.reshape(-1)
+    if negzero_indices.size:
+        flat_out[negzero_indices] = \
+            (flat_global[negzero_indices] + 0.0) * factor
+    if value_indices.size:
+        flat_out[value_indices] = \
+            (flat_global[value_indices] - values) * factor
+    return out
+
+
+def indexed_weighted_accumulate(accumulator: np.ndarray,
+                                weighted_mask: np.ndarray,
+                                value_indices: np.ndarray,
+                                values: np.ndarray) -> np.ndarray:
+    """``accumulator += weighted_mask * sparse`` without densifying.
+
+    Bit-identical to the dense accumulation when ``accumulator`` started at
+    ``+0.0`` and ``weighted_mask`` is non-negative: the skipped positions
+    of the sparse operand are ``+0.0`` or exactly ``-0.0``, whose dense
+    contribution ``weighted_mask * (+-0.0) = +-0.0`` is a bitwise no-op —
+    ``x + (+-0.0) == x`` for every ``x`` except ``x = -0.0``, and the
+    accumulator can never hold ``-0.0`` (it starts at ``+0.0``, and IEEE
+    round-to-nearest only yields ``-0.0`` from ``(-0.0) + (-0.0)``).
+    """
+    if value_indices.size:
+        flat = accumulator.reshape(-1)
+        flat[value_indices] += \
+            weighted_mask.reshape(-1)[value_indices] * values
+    return accumulator
+
+
 def count_nonzero(params: Mapping[str, np.ndarray]) -> int:
     """Number of non-zero scalar entries (used for sparse upload accounting)."""
     return int(sum(np.count_nonzero(value) for value in params.values()))

@@ -2,6 +2,9 @@
 
 from .broadcast import (Broadcast, BroadcastHandle, broadcast_stats,
                         materialize, reset_broadcast_stats)
+from .codec import (CODECS, Codec, DecodedParams, EncodedBlock, EncodedParams,
+                    IndexedSlices, LOSSLESS_CODECS, available_codecs,
+                    decode_block, resolve_codec)
 from .executors import (EXECUTOR_BACKENDS, Executor, ProcessPoolExecutor,
                         SerialExecutor, ThreadPoolExecutor, available_backends,
                         clone_via_pickle, default_worker_count,
@@ -22,4 +25,14 @@ __all__ = [
     "materialize",
     "broadcast_stats",
     "reset_broadcast_stats",
+    "Codec",
+    "CODECS",
+    "DecodedParams",
+    "EncodedBlock",
+    "EncodedParams",
+    "IndexedSlices",
+    "LOSSLESS_CODECS",
+    "available_codecs",
+    "decode_block",
+    "resolve_codec",
 ]

@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from ..util import BoundedLRU
+from .codec import EncodedBlock, EncodedParams, decode_block
 
 try:  # pragma: no cover - import succeeds on every supported platform
     from multiprocessing import shared_memory as _shared_memory
@@ -100,13 +101,26 @@ def _bump(**deltas: int) -> None:
 # ---------------------------------------------------------------- handles
 @dataclass(frozen=True)
 class BlockSpec:
-    """Location of one parameter array inside the broadcast segment."""
+    """Location of one parameter (sub-)array inside the broadcast segment.
+
+    A raw block is one spec (``codec="raw"``, ``part=0``) whose
+    ``dtype``/``shape`` describe the parameter array itself — the historical
+    manifest entry, unchanged.  A codec-encoded block is one spec per wire
+    sub-array (bitmaps, codes, codebooks, values) sharing a ``key``; each
+    spec's ``dtype``/``shape`` describe its *part*, and part 0 carries the
+    decoder metadata ``(logical_dtype, logical_shape, codec_meta)`` in
+    ``meta``.  The defaults keep old pickled specs and existing callers
+    working untouched.
+    """
 
     key: str
     dtype: str
     shape: Tuple[int, ...]
     offset: int
     nbytes: int
+    codec: str = "raw"
+    part: int = 0
+    meta: Tuple = ()
 
 
 @dataclass(frozen=True)
@@ -147,8 +161,11 @@ class Broadcast:
 
     def __init__(self, payload: Any,
                  params: Optional[Mapping[str, np.ndarray]] = None, *,
+                 encoded_params: Optional[EncodedParams] = None,
                  round_index: int = -1,
                  use_shared_memory: bool = True) -> None:
+        if params is not None and encoded_params is not None:
+            raise ValueError("pass either params or encoded_params, not both")
         blob = pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
         manifest: List[BlockSpec] = []
         blocks: List[np.ndarray] = []
@@ -160,6 +177,20 @@ class Broadcast:
                                       nbytes=array.nbytes))
             blocks.append(array)
             offset += array.nbytes
+        if encoded_params is not None:
+            # codec-tagged blocks: only the wire sub-arrays enter the
+            # segment, so param_bytes below counts real wire bytes
+            for key, block in sorted(encoded_params.blocks.items()):
+                for part, sub in enumerate(block.arrays):
+                    sub = np.ascontiguousarray(sub)
+                    meta = (block.dtype, block.shape, block.meta) \
+                        if part == 0 else ()
+                    manifest.append(BlockSpec(
+                        key=key, dtype=sub.dtype.str, shape=tuple(sub.shape),
+                        offset=offset, nbytes=sub.nbytes, codec=block.codec,
+                        part=part, meta=meta))
+                    blocks.append(sub)
+                    offset += sub.nbytes
         param_nbytes = offset
         total = param_nbytes + len(blob)
 
@@ -191,14 +222,15 @@ class Broadcast:
             inline = b"".join(block.tobytes() for block in blocks) + blob
             _bump(inline_publishes=1)
 
+        has_params = params is not None or encoded_params is not None
         self.handle = BroadcastHandle(
             shm_name=shm_name, manifest=tuple(manifest),
-            has_params=params is not None, blob_offset=param_nbytes,
+            has_params=has_params, blob_offset=param_nbytes,
             blob_nbytes=len(blob), total_nbytes=total, digest=digest,
             round_index=round_index, creator_pid=os.getpid(), inline=inline)
         self._closed = False
         _bump(publishes=1, param_bytes=param_nbytes, blob_bytes=len(blob),
-              param_packs=1 if params is not None else 0)
+              param_packs=1 if has_params else 0)
 
     def close(self) -> None:
         """Unlink the shared memory segment (idempotent)."""
@@ -286,6 +318,7 @@ def materialize(handle: BroadcastHandle) -> Tuple[Optional[Dict[str, np.ndarray]
     params: Optional[Dict[str, np.ndarray]] = None
     if handle.has_params:
         params = {}
+        pending: Dict[str, List[Tuple[BlockSpec, np.ndarray]]] = {}
         for spec in handle.manifest:
             flat = np.frombuffer(raw, dtype=spec.dtype,
                                  count=int(np.prod(spec.shape, dtype=np.int64)),
@@ -293,7 +326,24 @@ def materialize(handle: BroadcastHandle) -> Tuple[Optional[Dict[str, np.ndarray]
             # ``raw`` is immutable bytes, so the view (and any reshape of
             # it) is born non-writeable and pins the snapshot alive via its
             # base reference — zero-copy and mutation-proof
-            params[spec.key] = flat.reshape(spec.shape)
+            if spec.codec == "raw" and spec.part == 0 and not spec.meta:
+                params[spec.key] = flat.reshape(spec.shape)
+            else:
+                pending.setdefault(spec.key, []).append(
+                    (spec, flat.reshape(spec.shape)))
+        for key, parts in pending.items():
+            parts.sort(key=lambda item: item[0].part)
+            head = parts[0][0]
+            logical_dtype, logical_shape, codec_meta = head.meta
+            block = EncodedBlock(codec=head.codec, dtype=logical_dtype,
+                                 shape=tuple(logical_shape),
+                                 arrays=tuple(sub for _, sub in parts),
+                                 meta=tuple(codec_meta))
+            dense = decode_block(block)
+            # decoded blocks are private allocations; freeze them so they
+            # honour the same read-only contract as the zero-copy views
+            dense.flags.writeable = False
+            params[key] = dense
     payload = pickle.loads(
         raw[handle.blob_offset:handle.blob_offset + handle.blob_nbytes])
     entry = (params, payload)

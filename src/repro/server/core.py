@@ -40,7 +40,9 @@ from ..federated.evaluation import evaluate_params
 from ..federated.fleet import ClientFleet
 from ..federated.strategy import ClientUpdate, Strategy, StrategyContext
 from ..nn.model import Sequential
+from ..nn.params import param_nbytes
 from ..parallel import Broadcast, BroadcastHandle, Executor, materialize
+from ..parallel.codec import EncodedParams, resolve_codec
 from ..scenarios.engine import RoundOutcome, ScenarioEngine
 from ..sparsity.accounting import SparseCost
 from ..systems.cost import CostBreakdown, LocalCostModel
@@ -225,11 +227,21 @@ def _broadcast_local_update_task(
         payload: Tuple[BroadcastHandle, BroadcastHandle, int, int,
                        Optional[Dict]]
         ) -> Tuple[ClientUpdate, Dict]:
-    """Broadcast-era variant of :func:`_local_update_task`."""
+    """Broadcast-era variant of :func:`_local_update_task`.
+
+    Under a non-dense wire codec the worker encodes the update's parameters
+    before returning, so the *actual* cross-process pickle carries the
+    compressed wire form; the server decodes on receipt.  (The serial and
+    legacy paths round-trip ``decode(encode(.))`` server-side instead,
+    which composes to the identical numerics.)
+    """
     session_handle, round_handle, round_index, client_id, state = payload
     strategy, client = _bind_broadcast_client(session_handle, round_handle,
                                               client_id, state)
     update = strategy.local_update(round_index, client)
+    config = strategy.context.config
+    if config.codec != "dense":
+        update.params = resolve_codec(config.codec).encode(update.params)
     return update, client.state
 
 
@@ -269,6 +281,11 @@ class ServerCore:
         self.executor = executor
         self.use_broadcast = use_broadcast
         self._session_broadcast: Optional[Broadcast] = None
+        # wire codec of the parameter round trip; the per-round wire report
+        # (consumed by the scheduler via take_wire_report) is only produced
+        # for non-dense codecs so dense histories stay byte-stable
+        self.codec = resolve_codec(self.config.codec)
+        self._last_wire: Optional[Dict[str, float]] = None
         lazy = self.config.fleet.lazy
         self.fleet = fleet if fleet is not None else sample_device_fleet(
             dataset.num_clients, seed=self.config.seed, lazy=lazy)
@@ -423,19 +440,57 @@ class ServerCore:
                 params=blocks, round_index=_SESSION_ROUND_INDEX)
         return self._session_broadcast.handle
 
-    def _round_broadcast(self, round_index: int) -> Broadcast:
+    def _round_broadcast(self, round_index: int, *,
+                         encoded: Optional[EncodedParams] = None) -> Broadcast:
         """Publish the round-invariant payload: strategy template + params.
 
         The template is the strategy with its big, round-invariant pieces
         stripped: ``global_params`` travels as raw shared-memory blocks and
         ``context`` is rebuilt worker-side from the session broadcast.
+        With ``encoded`` (a lossy codec's downlink snapshot) the parameters
+        ship as codec-tagged wire blocks instead; workers decode them in
+        :func:`repro.parallel.materialize` to exactly the arrays the server
+        installed in :meth:`_snap_global_params`.
         """
         template = copy.copy(self.strategy)
         template.context = None
         template.global_params = None
+        if encoded is not None:
+            return Broadcast((template, self.context.rng),
+                             encoded_params=encoded,
+                             round_index=round_index)
         return Broadcast((template, self.context.rng),
                          params=self.strategy.global_params,
                          round_index=round_index)
+
+    def _snap_global_params(self) -> Optional[EncodedParams]:
+        """Push the global model through the lossy downlink (if any).
+
+        Lossy codecs replace the global parameters with their decoded wire
+        form at every dispatch/evaluation point, so the serial path,
+        worker-side materialization and the next aggregation all see
+        exactly what a compressed downlink delivers — a pure function of
+        the config, uniform across schedulers and backends, and re-snapped
+        identically after a checkpoint resume.  Lossless codecs return
+        None: their downlink is the historical raw block path,
+        byte-for-byte (the global model is dense, so the sparse codec
+        compresses the *uplink* residuals, not the downlink).
+        """
+        if self.codec.lossless:
+            return None
+        encoded = self.codec.encode(self.strategy.global_params)
+        self.strategy.global_params = self.codec.decode(encoded)
+        return encoded
+
+    def take_wire_report(self) -> Optional[Dict[str, float]]:
+        """The last fan-out's wire byte accounting (None for dense codec).
+
+        One-shot: the scheduler attaches it to the round's record via
+        ``RoundRecord.extras``.  Evaluation traffic is deliberately
+        excluded — the report measures the training round trip.
+        """
+        report, self._last_wire = self._last_wire, None
+        return report
 
     def close(self) -> None:
         """Release broadcast resources (recreated lazily if needed again)."""
@@ -483,30 +538,76 @@ class ServerCore:
         ``(finish_time, client_id)`` sort — so the per-update contents are
         identical either way.
         """
+        encoded_down = self._snap_global_params()
         if self.executor is None or not selected:
-            return [self.strategy.local_update(round_index, self.clients[cid])
-                    for cid in selected]
-        if self._broadcast_enabled():
-            session = self._session_handle()
-            with self._round_broadcast(round_index) as broadcast:
-                # peek_state ships the stored state, or None for first-time
-                # participants (the worker runs the pure init itself), so
-                # dispatch materializes nothing server-side — the worker is
-                # the only place the cohort's shards are built
-                payloads = [(session, broadcast.handle, round_index, cid,
-                             self.clients.peek_state(cid))
-                            for cid in selected]
-                results = self._map(_broadcast_local_update_task, payloads,
-                                    ordered=ordered)
+            updates = [self.strategy.local_update(round_index,
+                                                  self.clients[cid])
+                       for cid in selected]
         else:
-            legacy = [(self._dispatch_strategy(self.clients[cid]), round_index,
-                       self.clients[cid]) for cid in selected]
-            results = self._map(_local_update_task, legacy, ordered=ordered)
-        updates: List[ClientUpdate] = []
-        for update, state in results:
-            self.clients.update_state(update.client_id, state)
-            updates.append(update)
+            if self._broadcast_enabled():
+                session = self._session_handle()
+                with self._round_broadcast(round_index,
+                                           encoded=encoded_down) as broadcast:
+                    # peek_state ships the stored state, or None for
+                    # first-time participants (the worker runs the pure init
+                    # itself), so dispatch materializes nothing server-side —
+                    # the worker is the only place the cohort's shards are
+                    # built
+                    payloads = [(session, broadcast.handle, round_index, cid,
+                                 self.clients.peek_state(cid))
+                                for cid in selected]
+                    results = self._map(_broadcast_local_update_task,
+                                        payloads, ordered=ordered)
+            else:
+                legacy = [(self._dispatch_strategy(self.clients[cid]),
+                           round_index, self.clients[cid])
+                          for cid in selected]
+                results = self._map(_local_update_task, legacy,
+                                    ordered=ordered)
+            updates = []
+            for update, state in results:
+                self.clients.update_state(update.client_id, state)
+                updates.append(update)
+        if self.codec.name != "dense":
+            self._decode_uplinks(updates, encoded_down, len(selected))
         return updates
+
+    def _decode_uplinks(self, updates: List[ClientUpdate],
+                        encoded_down: Optional[EncodedParams],
+                        dispatched: int) -> None:
+        """Decode the cohort's uplinks and record the round's wire bytes.
+
+        Broadcast workers hand back :class:`EncodedParams` (the compressed
+        form really crossed the pickling boundary); the serial and legacy
+        paths hand back dense dictionaries that are round-tripped through
+        ``decode(encode(.))`` here so every backend applies the identical
+        codec numerics.  Sparse uplinks decode to lazy indexed mappings the
+        aggregation kernels reduce without densifying.
+        """
+        upload_wire = upload_dense = 0
+        stored_values = total_values = 0
+        for update in updates:
+            encoded = (update.params
+                       if isinstance(update.params, EncodedParams)
+                       else self.codec.encode(update.params))
+            upload_wire += encoded.wire_nbytes
+            upload_dense += encoded.dense_nbytes
+            stored_values += encoded.stored_values
+            total_values += encoded.total_size
+            update.params = self.codec.decode(encoded)
+        if encoded_down is not None:
+            down_wire = encoded_down.wire_nbytes
+            down_dense = encoded_down.dense_nbytes
+        else:
+            down_wire = down_dense = param_nbytes(self.strategy.global_params)
+        self._last_wire = {
+            "wire_upload_bytes": float(upload_wire),
+            "wire_upload_dense_bytes": float(upload_dense),
+            "wire_download_bytes": float(down_wire * dispatched),
+            "wire_download_dense_bytes": float(down_dense * dispatched),
+            "wire_upload_density": (float(stored_values / total_values)
+                                    if total_values else 1.0),
+        }
 
     def _map(self, fn, payloads, *, ordered: bool) -> List:
         """Dispatch payloads on the executor, ordered or completion-order."""
@@ -557,6 +658,9 @@ class ServerCore:
         eval_ids = self.evaluation_client_ids()
         if not eval_ids:
             return 0.0
+        # lossy codecs evaluate the model a compressed downlink delivers
+        # (and ship exactly those wire blocks to broadcast workers)
+        encoded_down = self._snap_global_params()
         if self.executor is None:
             accuracies = []
             for cid in eval_ids:
@@ -569,7 +673,7 @@ class ServerCore:
             session = self._session_handle()
             # a fresh broadcast (not the round's): aggregation has moved the
             # global parameters since the local-update fan-out
-            with self._round_broadcast(-1) as broadcast:
+            with self._round_broadcast(-1, encoded=encoded_down) as broadcast:
                 payloads = [(session, broadcast.handle, cid,
                              self.clients.peek_state(cid))
                             for cid in eval_ids]

@@ -164,6 +164,9 @@ class SyncScheduler(Scheduler):
                 cumulative_flops=cumulative_flops,
                 cumulative_time_seconds=cumulative_time,
                 sparse_ratios={u.client_id: u.sparse_ratio for u in updates},
+                # wire byte accounting of the fan-out, present only under a
+                # non-dense codec (so dense histories stay byte-stable)
+                extras=core.take_wire_report() or {},
                 evaluated=should_eval,
                 sim_time=outcome.sim_time,
                 cumulative_sim_time=cumulative_sim_time,
@@ -336,6 +339,7 @@ class _EventDrivenScheduler(Scheduler):
                 cumulative_flops=cumulative_flops,
                 cumulative_time_seconds=cumulative_time,
                 sparse_ratios={u.client_id: u.sparse_ratio for u in updates},
+                extras=core.take_wire_report() or {},
                 evaluated=should_eval,
                 sim_time=clock.now - round_start,
                 cumulative_sim_time=clock.now,

@@ -52,9 +52,12 @@ class TestRunner:
         summary = summarize(history)
         assert set(summary) == {"accuracy", "best_accuracy", "total_flops",
                                 "total_time_seconds", "total_upload_bytes",
+                                "wire_upload_bytes",
                                 "sim_time_seconds", "time_to_accuracy_seconds",
                                 "dropped_clients", "straggler_drops",
                                 "mean_staleness"}
+        # dense-codec runs produce no wire report
+        assert summary["wire_upload_bytes"] is None
         # without a scenario the simulated clock equals the Eq. 18 round time
         assert summary["sim_time_seconds"] == pytest.approx(
             summary["total_time_seconds"])

@@ -1,0 +1,172 @@
+"""Indexed-slice reduction: bit-identical to dense, and never densifying.
+
+The aggregation kernels accept codec-decoded updates whose sparse entries
+are :class:`~repro.parallel.codec.IndexedSlices`.  Two contracts:
+
+* **bit-identity** — reducing the indexed form produces byte-for-byte the
+  result of reducing the dense arrays, including the ``-0.0``-at-off-mask
+  corners FedLPS residuals are full of (proofs live on the kernels in
+  ``repro.nn.params``);
+* **never densify** — the reducers make no full-shape allocation per
+  client: ``IndexedSlices.densify`` (and the lazy per-key dense cache) is
+  never invoked on the reduction path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.federated.aggregation import aggregate_residuals, masked_average
+from repro.parallel.codec import DecodedParams, IndexedSlices, resolve_codec
+
+
+def _residual_like(rng, shape, density):
+    """A FedLPS-style upload: explicit values on-mask, ``-0.0`` off-mask."""
+    mask = rng.random(shape) < density
+    return np.where(mask, rng.normal(size=shape), -0.0)
+
+
+def _cohort(rng, num_clients=4, density=0.3):
+    global_params = {"w": rng.normal(size=(6, 8)), "b": rng.normal(size=(8,))}
+    dense_updates = [{"w": _residual_like(rng, (6, 8), density),
+                      "b": _residual_like(rng, (8,), density)}
+                     for _ in range(num_clients)]
+    codec = resolve_codec("sparse")
+    indexed_updates = [codec.decode(codec.encode(update))
+                       for update in dense_updates]
+    weights = [float(w) for w in rng.integers(1, 30, size=num_clients)]
+    return global_params, dense_updates, indexed_updates, weights
+
+
+def _assert_bit_identical(left, right):
+    assert set(left) == set(right)
+    for key in left:
+        assert left[key].tobytes() == right[key].tobytes(), key
+
+
+class TestAggregateResidualsIndexed:
+    def test_bit_identical_to_dense(self):
+        rng = np.random.default_rng(0)
+        g, dense, indexed, weights = _cohort(rng)
+        assert any(isinstance(u, DecodedParams) for u in indexed)
+        _assert_bit_identical(aggregate_residuals(g, dense, weights),
+                              aggregate_residuals(g, indexed, weights))
+
+    def test_bit_identical_with_negzero_global(self):
+        # the -0.0 correction path: g - (-0.0) is +0.0 when g is -0.0,
+        # which a naive bulk g*factor would get wrong
+        rng = np.random.default_rng(1)
+        g, dense, indexed, weights = _cohort(rng)
+        g["w"] = np.where(rng.random((6, 8)) < 0.5, -0.0, g["w"])
+        _assert_bit_identical(aggregate_residuals(g, dense, weights),
+                              aggregate_residuals(g, indexed, weights))
+
+    def test_mixed_dense_and_indexed_batch(self):
+        rng = np.random.default_rng(2)
+        g, dense, indexed, weights = _cohort(rng)
+        mixed = [dense[0], indexed[1], dense[2], indexed[3]]
+        _assert_bit_identical(aggregate_residuals(g, dense, weights),
+                              aggregate_residuals(g, mixed, weights))
+
+    def test_validation_matches_dense_path(self):
+        rng = np.random.default_rng(3)
+        g, _, indexed, weights = _cohort(rng)
+        with pytest.raises(ValueError, match="same length"):
+            aggregate_residuals(g, indexed, weights[:-1])
+        with pytest.raises(ValueError, match="positive"):
+            aggregate_residuals(g, indexed, [0.0] * len(indexed))
+        with pytest.raises(KeyError, match="differ in keys"):
+            aggregate_residuals({"w": g["w"]}, indexed, weights)
+
+    def test_empty_cohort_copies_global(self):
+        rng = np.random.default_rng(4)
+        g, _, _, _ = _cohort(rng)
+        _assert_bit_identical(aggregate_residuals(g, [], []), g)
+
+
+class TestMaskedAverageIndexed:
+    def _masks(self, rng, num_clients):
+        return [{"w": (rng.random((6, 8)) < 0.5).astype(np.float64),
+                 "b": (rng.random((8,)) < 0.5).astype(np.float64)}
+                for _ in range(num_clients)]
+
+    def test_bit_identical_to_dense(self):
+        rng = np.random.default_rng(5)
+        g, dense, indexed, weights = _cohort(rng)
+        masks = self._masks(rng, len(dense))
+        _assert_bit_identical(masked_average(g, dense, masks, weights),
+                              masked_average(g, indexed, masks, weights))
+
+    def test_bit_identical_unweighted(self):
+        rng = np.random.default_rng(6)
+        g, dense, indexed, _ = _cohort(rng)
+        masks = self._masks(rng, len(dense))
+        _assert_bit_identical(masked_average(g, dense, masks),
+                              masked_average(g, indexed, masks))
+
+    def test_negative_values_through_zero_masks(self):
+        # dense contributions 0.0 * (negative value) = -0.0 must stay
+        # bitwise no-ops on the numerator when the indexed path skips them
+        rng = np.random.default_rng(7)
+        g = {"w": rng.normal(size=(4, 4))}
+        dense = [{"w": np.where(rng.random((4, 4)) < 0.5,
+                                -np.abs(rng.normal(size=(4, 4))), -0.0)}
+                 for _ in range(3)]
+        codec = resolve_codec("sparse")
+        indexed = [codec.decode(codec.encode(u)) for u in dense]
+        masks = [{"w": (rng.random((4, 4)) < 0.5).astype(np.float64)}
+                 for _ in range(3)]
+        _assert_bit_identical(masked_average(g, dense, masks, [1.0, 2.0, 3.0]),
+                              masked_average(g, indexed, masks,
+                                             [1.0, 2.0, 3.0]))
+
+
+class TestNeverDensify:
+    @pytest.fixture()
+    def densify_forbidden(self, monkeypatch):
+        def _explode(self):
+            raise AssertionError("reducer densified an indexed update")
+
+        monkeypatch.setattr(IndexedSlices, "densify", _explode)
+        monkeypatch.setattr(
+            DecodedParams, "__getitem__",
+            lambda self, key: (_ for _ in ()).throw(
+                AssertionError("reducer materialized a dense entry")))
+
+    def test_aggregate_residuals_never_densifies(self, densify_forbidden):
+        rng = np.random.default_rng(8)
+        g, _, indexed, weights = _cohort(rng)
+        result = aggregate_residuals(g, indexed, weights)
+        assert set(result) == set(g)
+
+    def test_masked_average_never_densifies(self, densify_forbidden):
+        rng = np.random.default_rng(9)
+        g, dense, indexed, weights = _cohort(rng)
+        masks = [{key: np.ones_like(value) for key, value in g.items()}
+                 for _ in indexed]
+        result = masked_average(g, indexed, masks, weights)
+        assert set(result) == set(g)
+
+    def test_reduction_allocations_are_o_keys(self):
+        # allocations must not scale with the cohort: reduce 2 vs 64 clients
+        # and require identical peak traced allocation magnitude per client
+        import tracemalloc
+
+        rng = np.random.default_rng(10)
+        g = {"w": rng.normal(size=(64, 64))}
+        codec = resolve_codec("sparse")
+
+        def reduce_cohort(count):
+            updates = [codec.decode(codec.encode(
+                {"w": _residual_like(rng, (64, 64), 0.1)}))
+                for _ in range(count)]
+            weights = [1.0] * count
+            tracemalloc.start()
+            aggregate_residuals(g, updates, weights)
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return peak
+
+        small, large = reduce_cohort(2), reduce_cohort(64)
+        # O(keys) scratch: the 32x cohort may not cost anywhere near 32x
+        # the peak (allow generous slack for the index arrays themselves)
+        assert large < small * 4

@@ -1,10 +1,11 @@
 """Golden-history fixtures: pinned runs guarding against numeric drift.
 
 Every registry strategy is run once on a tiny fixed preset (plus a few
-scenario variants) and the exact resulting history JSON is committed under
-``tests/fixtures/golden/``.  The companion test
-(``tests/test_golden_histories.py``) re-runs each spec and fails on ANY
-difference — a changed selection, a shifted float, a new field default.
+scenario variants and one lossy-codec variant per aggregation mode) and the
+exact resulting history JSON is committed under ``tests/fixtures/golden/``.
+The companion test (``tests/test_golden_histories.py``) re-runs each spec
+and fails on ANY difference — a changed selection, a shifted float, a new
+field default.
 
 When a change intentionally alters numerics (new RNG stream, different
 aggregation math, retuned defaults), regenerate the fixtures with::
@@ -37,25 +38,42 @@ GOLDEN_SCENARIOS = (
     ("fedlps", "deadline-tight"),
 )
 
+#: lossy-codec variants: int8 quantization is a documented numerics mode, so
+#: its trajectories are pinned in their own fixtures (one per aggregation
+#: mode) rather than checked against the dense runs — lossless codecs, by
+#: contrast, must reproduce the dense fixtures above bit-for-bit and get no
+#: fixtures of their own
+GOLDEN_LOSSY = (
+    ("fedlps--int8", "fedlps", "sync"),
+    ("fedlps--int8--fedasync", "fedlps", "fedasync"),
+    ("fedlps--int8--fedbuff", "fedlps", "fedbuff"),
+)
+
 
 def golden_specs():
-    """(fixture name, method, scenario) for every pinned run."""
+    """(fixture name, method, scenario, aggregation, codec) per pinned run."""
     from repro.baselines import available_strategies
 
-    specs = [(method, method, "ideal") for method in available_strategies()]
-    specs.extend((f"{method}--{scenario}", method, scenario)
+    specs = [(method, method, "ideal", "sync", "dense")
+             for method in available_strategies()]
+    specs.extend((f"{method}--{scenario}", method, scenario, "sync", "dense")
                  for method, scenario in GOLDEN_SCENARIOS)
+    specs.extend((name, method, "ideal", aggregation, "int8")
+                 for name, method, aggregation in GOLDEN_LOSSY)
     return specs
 
 
-def golden_preset(scenario: str, *, lazy_fleet: bool = True):
+def golden_preset(scenario: str, aggregation: str = "sync",
+                  codec: str = "dense", *, lazy_fleet: bool = True):
     from repro.experiments import preset_for, scaled
 
     return scaled(preset_for("mnist"), scenario=scenario,
+                  aggregation=aggregation, codec=codec,
                   lazy_fleet=lazy_fleet, **GOLDEN_OVERRIDES)
 
 
-def run_golden(method: str, scenario: str, *, lazy_fleet: bool = True):
+def run_golden(method: str, scenario: str, aggregation: str = "sync",
+               codec: str = "dense", *, lazy_fleet: bool = True):
     """One pinned run; shared by the regenerator and the regression test.
 
     ``lazy_fleet`` selects the fleet materialization path; both must
@@ -63,7 +81,8 @@ def run_golden(method: str, scenario: str, *, lazy_fleet: bool = True):
     """
     from repro.experiments import run_method
 
-    return run_method(method, golden_preset(scenario, lazy_fleet=lazy_fleet))
+    return run_method(method, golden_preset(scenario, aggregation, codec,
+                                            lazy_fleet=lazy_fleet))
 
 
 def fixture_path(name: str) -> Path:
@@ -73,14 +92,19 @@ def fixture_path(name: str) -> Path:
 def regenerate() -> int:
     FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
     specs = golden_specs()
-    for name, method, scenario in specs:
-        history = run_golden(method, scenario)
+    for name, method, scenario, aggregation, codec in specs:
+        history = run_golden(method, scenario, aggregation, codec)
         payload = {
             "method": method,
             "scenario": scenario,
             "overrides": GOLDEN_OVERRIDES,
             "history": history.to_dict(),
         }
+        # dense/sync fixtures predate the aggregation and codec axes; their
+        # payload schema stays exactly as committed (byte-stable files)
+        if aggregation != "sync" or codec != "dense":
+            payload["aggregation"] = aggregation
+            payload["codec"] = codec
         fixture_path(name).write_text(
             json.dumps(payload, sort_keys=True, indent=1) + "\n")
         print(f"wrote {fixture_path(name).relative_to(_REPO_ROOT)}")

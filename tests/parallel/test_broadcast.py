@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.parallel import (Broadcast, broadcast_stats, materialize,
-                            reset_broadcast_stats)
+                            reset_broadcast_stats, resolve_codec)
 from repro.parallel import broadcast as broadcast_module
 
 
@@ -68,6 +68,43 @@ class TestRoundTrip:
         with pytest.raises(ValueError):
             got["dense.b"][0] = 123.0
         assert params["dense.b"][0] != 123.0  # the published arrays untouched
+
+    @pytest.mark.parametrize("codec_name", ["sparse", "int8", "pq"])
+    @pytest.mark.parametrize("use_shared_memory", [True, False])
+    def test_encoded_params_decode_to_server_side_arrays(
+            self, codec_name, use_shared_memory):
+        """Codec-tagged blocks: workers rebuild exactly the decoded params."""
+        codec = resolve_codec(codec_name)
+        params = sample_params()
+        encoded = codec.encode(params)
+        expected = codec.decode(encoded)
+        with Broadcast({"round": 1}, encoded_params=encoded, round_index=1,
+                       use_shared_memory=use_shared_memory) as broadcast:
+            assert broadcast.handle.has_params
+            got_params, _ = materialize(broadcast.handle)
+        assert set(got_params) == set(params)
+        for key in params:
+            assert got_params[key].dtype == np.asarray(expected[key]).dtype
+            assert got_params[key].tobytes() == \
+                np.asarray(expected[key]).tobytes()
+            assert not got_params[key].flags.writeable
+
+    def test_encoded_broadcast_param_bytes_count_wire_bytes(self):
+        """The param_bytes stat measures the encoded (wire) size."""
+        rng = np.random.default_rng(1)
+        residual = np.where(rng.random((64, 64)) < 0.2,
+                            rng.standard_normal((64, 64)), -0.0)
+        encoded = resolve_codec("sparse").encode({"w": residual})
+        assert encoded.wire_nbytes < encoded.dense_nbytes
+        with Broadcast(None, encoded_params=encoded, round_index=0):
+            pass
+        stats = broadcast_stats()
+        assert stats["param_bytes"] == encoded.wire_nbytes
+
+    def test_params_and_encoded_params_are_exclusive(self):
+        encoded = resolve_codec("dense").encode(sample_params())
+        with pytest.raises(ValueError, match="not both"):
+            Broadcast(None, sample_params(), encoded_params=encoded)
 
     def test_payload_only_broadcast_has_no_params(self):
         with Broadcast(["just", "a", "payload"]) as broadcast:

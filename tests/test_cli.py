@@ -66,6 +66,24 @@ class TestParser:
             ["sweep", "--aggregations", "sync", "fedbuff"])
         assert args.aggregations == ["sync", "fedbuff"]
 
+    def test_codec_choices(self):
+        args = build_parser().parse_args(["run", "--codec", "sparse"])
+        assert args.codec == "sparse"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--codec", "gzip"])
+
+    def test_sweep_codecs_default_to_dense(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.codecs == ["dense"]
+        args = build_parser().parse_args(
+            ["sweep", "--codecs", "sparse", "int8"])
+        assert args.codecs == ["sparse", "int8"]
+
+    def test_bench_codec_axis_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.codec_scale is None
+        assert args.codec_output == "BENCH_codec.json"
+
 
 class TestCommands:
     def test_list_prints_methods(self, capsys):
@@ -114,6 +132,25 @@ class TestCommands:
                     + TINY) == 0
         out = capsys.readouterr().out
         assert "fedasync" in out and "accuracy" in out
+
+    def test_run_with_sparse_codec_matches_dense(self, capsys):
+        assert main(["run", "--method", "fedlps"] + TINY) == 0
+        dense_out = capsys.readouterr().out
+        assert main(["run", "--method", "fedlps", "--codec", "sparse"]
+                    + TINY) == 0
+        sparse_out = capsys.readouterr().out
+        # lossless wire codec: the summary table is bit-identical
+        assert sparse_out == dense_out
+
+    def test_sweep_grids_over_codecs(self, capsys, tmp_path):
+        argv = ["sweep", "--datasets", "mnist", "--methods", "fedlps",
+                "--codecs", "dense", "int8",
+                "--cache-dir", str(tmp_path / "cache")] + TINY
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "codec" in out and "int8" in out
+        assert "wire_upload_bytes" in out
+        assert "2 miss(es)" in out
 
     def test_sweep_grids_over_aggregations(self, capsys, tmp_path):
         argv = ["sweep", "--datasets", "mnist", "--methods", "fedavg",
