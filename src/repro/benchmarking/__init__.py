@@ -6,6 +6,8 @@ from .codec import format_codec_report, measure_codec, run_codec_bench
 from .fanout import (BENCH_METHOD, fanout_preset, format_bench_report,
                      measure_aggregation_modes, measure_fanout_bytes,
                      run_fanout_bench)
+from .faults import (fault_preset, format_fault_report, measure_faults,
+                     run_fault_bench)
 from .fleet import (fleet_preset, format_fleet_report, measure_construction,
                     measure_smoke, run_fleet_bench)
 
@@ -22,6 +24,10 @@ __all__ = [
     "measure_aggregation_modes",
     "measure_fanout_bytes",
     "run_fanout_bench",
+    "fault_preset",
+    "format_fault_report",
+    "measure_faults",
+    "run_fault_bench",
     "fleet_preset",
     "format_fleet_report",
     "measure_construction",

@@ -1,0 +1,222 @@
+"""Fault-tolerance benchmark: chaos-run cost and determinism per backend.
+
+``repro bench --fault-scale`` pins the contract of the supervised execution
+layer (:mod:`repro.parallel.supervision` / :mod:`repro.parallel.faults`):
+
+* a chaos run — injected exceptions, worker crashes and hangs, retried
+  under supervision — must produce a **bit-identical history on every
+  backend**, including the process pool where crashes kill real workers;
+* when every injected fault is recovered by a retry (``fault_exhausted``
+  stays 0), the chaos history with the ``fault_*`` accounting stripped must
+  be **byte-equal to the fault-free run** — supervision must never perturb
+  the math it protects;
+* the wall-clock overhead of surviving the chaos (retries, backoff, pool
+  replenishment) must stay within a budgeted factor of the clean run.
+
+The report lands in ``BENCH_faults.json``, schema-compatible with the
+``BENCH_fanout``/``BENCH_checkpoint`` family (``bench_scale``,
+``cpu_count``, per-cell ``seconds``), so future PRs have a trajectory to
+move.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from ..parallel import resolve_executor
+from ..parallel.faults import available_fault_plans
+
+#: chaos may cost this factor of the clean run plus the absolute slack —
+#: real sleeps are capped (hang budget, wall-clock backoff cap), so the
+#: overhead is dominated by retried task work and pool respawns
+GATE_OVERHEAD_FACTOR = 5.0
+GATE_OVERHEAD_SLACK_SECONDS = 10.0
+
+#: backends every fault cell times (serial is the reference semantics;
+#: process is where crashes/hangs are realized for real)
+BENCH_BACKENDS = ("serial", "thread", "process")
+
+#: supervision knobs of the chaos run: enough retries that the default
+#: plans recover every fault at the bench workload size
+BENCH_MAX_RETRIES = 4
+BENCH_TASK_TIMEOUT = 60.0
+
+
+def fault_preset(scale: float = 1.0, *, plan: Optional[str] = None,
+                 seed: int = 0):
+    """The bench workload: a small supervised mnist run, chaos optional."""
+    from ..experiments.presets import preset_for, scaled
+
+    return scaled(
+        preset_for("mnist"),
+        num_clients=8,
+        num_rounds=max(2, int(round(3 * scale))),
+        clients_per_round=4,
+        local_iterations=max(1, int(round(2 * scale))),
+        examples_per_client=max(8, int(round(20 * scale))),
+        eval_clients=0,
+        seed=seed,
+        fault_plan=plan,
+        max_retries=BENCH_MAX_RETRIES if plan is not None else 0,
+        task_timeout=BENCH_TASK_TIMEOUT if plan is not None else None)
+
+
+def _history_digest(history, *, strip_faults: bool = False) -> str:
+    payload = history.to_dict()
+    if strip_faults:
+        for record in payload["records"]:
+            record["extras"] = {key: value
+                                for key, value in record["extras"].items()
+                                if not key.startswith("fault_")}
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _fault_totals(history) -> Dict[str, float]:
+    totals: Dict[str, float] = {}
+    for record in history.records:
+        for key, value in record.extras.items():
+            if key.startswith("fault_"):
+                totals[key] = totals.get(key, 0.0) + float(value)
+    return totals
+
+
+def measure_faults(backend: str, *, scale: float = 1.0,
+                   plan: str = "chaos", seed: int = 0,
+                   workers: int = 2) -> Dict[str, object]:
+    """Time one backend's clean run and chaos run; digest both histories."""
+    from ..experiments.runner import run_method
+
+    cell: Dict[str, object] = {"backend": backend, "workers": workers}
+    for label, preset in (("clean", fault_preset(scale, seed=seed)),
+                          ("chaos", fault_preset(scale, plan=plan,
+                                                 seed=seed))):
+        executor = (None if backend == "serial"
+                    else resolve_executor(backend, workers))
+        try:
+            start = time.perf_counter()
+            history = run_method("fedlps", preset, executor=executor)
+            seconds = time.perf_counter() - start
+        finally:
+            if executor is not None:
+                executor.close()
+        cell[f"{label}_seconds"] = seconds
+        cell[f"{label}_digest"] = _history_digest(history)
+        if label == "chaos":
+            cell["chaos_stripped_digest"] = _history_digest(
+                history, strip_faults=True)
+            cell["fault_totals"] = _fault_totals(history)
+    # "seconds" is the family-wide headline column: the chaos run's cost
+    cell["seconds"] = cell["chaos_seconds"]
+    return cell
+
+
+def _gate(cells: Dict[str, Dict[str, object]]) -> Dict[str, object]:
+    """Pass/fail: determinism across backends, clean equivalence, budget."""
+    if not cells:
+        return {"pass": False, "reason": "no backend cells"}
+    chaos_digests = {cell["chaos_digest"] for cell in cells.values()}
+    clean_digests = {cell["clean_digest"] for cell in cells.values()}
+    serial = cells.get("serial") or next(iter(cells.values()))
+    totals = serial["fault_totals"]
+    injected = (totals.get("fault_retries", 0.0)
+                + totals.get("fault_exhausted", 0.0))
+    crashes = totals.get("fault_worker_restarts", 0.0)
+    exhausted = totals.get("fault_exhausted", 0.0)
+    # all-retries-succeed ⇒ stripped chaos history == fault-free history
+    equivalent = all(cell["chaos_stripped_digest"] == cell["clean_digest"]
+                     for cell in cells.values())
+    budgets = {
+        backend: float(cell["clean_seconds"]) * GATE_OVERHEAD_FACTOR
+                 + GATE_OVERHEAD_SLACK_SECONDS
+        for backend, cell in cells.items()}
+    within_budget = all(float(cells[backend]["chaos_seconds"])
+                        <= budgets[backend] for backend in cells)
+    verdict = (len(chaos_digests) == 1 and len(clean_digests) == 1
+               and injected > 0 and crashes > 0 and exhausted == 0
+               and equivalent and within_budget)
+    return {
+        "pass": bool(verdict),
+        "chaos_bit_identical": len(chaos_digests) == 1,
+        "clean_bit_identical": len(clean_digests) == 1,
+        "faults_injected": injected,
+        "worker_restarts": crashes,
+        "exhausted": exhausted,
+        "clean_equivalent": equivalent,
+        "within_budget": within_budget,
+        "overhead_factor_budget": GATE_OVERHEAD_FACTOR,
+        "overhead_slack_seconds": GATE_OVERHEAD_SLACK_SECONDS,
+    }
+
+
+def run_fault_bench(scale: float = 1.0, *, plan: str = "chaos",
+                    backends: Optional[Iterable[str]] = None,
+                    seed: int = 0,
+                    output: Optional[str] = None) -> Dict[str, object]:
+    """Run the fault benchmark and return (optionally write) the report.
+
+    ``scale`` multiplies the workload (rounds, local iterations, shard
+    size), the same convention as the other ``repro bench`` axes.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if plan not in available_fault_plans():
+        raise ValueError(f"unknown fault plan {plan!r}; "
+                         f"choose from {available_fault_plans()}")
+    cells: Dict[str, Dict[str, object]] = {}
+    for backend in (backends if backends is not None else BENCH_BACKENDS):
+        cells[backend] = measure_faults(backend, scale=scale, plan=plan,
+                                        seed=seed)
+    report: Dict[str, object] = {
+        "bench_scale": scale,
+        "fault_plan": plan,
+        "max_retries": BENCH_MAX_RETRIES,
+        "task_timeout": BENCH_TASK_TIMEOUT,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "cpu_count": os.cpu_count(),
+        "backends": cells,
+        "gate": _gate(cells),
+    }
+    if output:
+        Path(output).write_text(json.dumps(report, indent=2, sort_keys=True))
+    return report
+
+
+def format_fault_report(report: Dict[str, object]) -> str:
+    """Render a fault report as the aligned text table the CLI prints."""
+    lines = [f"# repro bench --fault-scale {report['bench_scale']} — "
+             f"plan {report['fault_plan']}, cpu_count {report['cpu_count']}"]
+    header = (f"{'backend':>8s} | {'clean_s':>8s} | {'chaos_s':>8s} | "
+              f"{'retries':>7s} | {'restarts':>8s} | {'timeouts':>8s} | "
+              f"{'exhausted':>9s}")
+    lines += [header, "-" * len(header)]
+    for cell in report["backends"].values():
+        totals = cell["fault_totals"]
+        lines.append(
+            f"{cell['backend']:>8s} | "
+            f"{cell['clean_seconds']:>8.3f} | "
+            f"{cell['chaos_seconds']:>8.3f} | "
+            f"{totals.get('fault_retries', 0.0):>7.0f} | "
+            f"{totals.get('fault_worker_restarts', 0.0):>8.0f} | "
+            f"{totals.get('fault_timeouts', 0.0):>8.0f} | "
+            f"{totals.get('fault_exhausted', 0.0):>9.0f}")
+    gate = report["gate"]
+    if "chaos_bit_identical" in gate:
+        lines.append(
+            f"gate: chaos bit-identical {gate['chaos_bit_identical']}, "
+            f"clean-equivalent {gate['clean_equivalent']}, "
+            f"{gate['faults_injected']:.0f} fault(s) injected "
+            f"({gate['worker_restarts']:.0f} crash(es)), "
+            f"budget {'ok' if gate['within_budget'] else 'BLOWN'} "
+            f"-> {'PASS' if gate['pass'] else 'FAIL'}")
+    else:
+        lines.append(f"gate: FAIL ({gate.get('reason', 'unknown')})")
+    return "\n".join(lines)

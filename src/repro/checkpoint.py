@@ -316,6 +316,11 @@ class CheckpointManager:
         # retries call latest() once per attempt and would otherwise re-read
         # an unchanged multi-MB pickle every time
         self._load_memo = BoundedLRU(2)
+        # last round-boundary capsule, kept in memory even when the boundary
+        # is not due() for disk — the emergency() path persists it when the
+        # run dies between scheduled saves
+        self._last_capsule: Optional[RunCheckpoint] = None
+        self._last_saved_round: Optional[int] = None
 
     # ----------------------------------------------------------------- paths
     def path_for(self, next_round: int) -> Path:
@@ -353,15 +358,38 @@ class CheckpointManager:
 
     def after_round(self, core, scheduler, history: TrainingHistory,
                     round_index: int) -> None:
-        """The scheduler hook: capture/save when due, then maybe interrupt."""
+        """The scheduler hook: capture/save when due, then maybe interrupt.
+
+        The capsule is captured at *every* boundary (capture is in-memory
+        deep copies, no disk) so :meth:`emergency` always has the most
+        recent boundary to persist even when ``every > 1`` skips the save.
+        """
+        capsule = capture_run(core, scheduler, history, round_index + 1)
+        self._last_capsule = capsule
         if self.due(round_index):
-            self.save(capture_run(core, scheduler, history, round_index + 1))
+            self.save(capsule)
+            self._last_saved_round = capsule.next_round
         if (self.stop_after_round is not None
                 and round_index >= self.stop_after_round):
             raise TrainingInterrupted(
                 f"training stopped after round {round_index} "
                 f"(checkpoint for round {round_index + 1} saved in "
                 f"{self.directory}); rerun with resume to continue")
+
+    def emergency(self) -> Optional[Path]:
+        """Persist the last captured round boundary if it is not on disk.
+
+        Called by the schedulers' crash guard when an exception escapes the
+        round loop: the run still resumes from the *latest completed* round
+        instead of the latest scheduled save.  A no-op (returns None) when
+        nothing has been captured yet or the boundary was already saved.
+        """
+        capsule = self._last_capsule
+        if capsule is None or self._last_saved_round == capsule.next_round:
+            return None
+        path = self.save(capsule)
+        self._last_saved_round = capsule.next_round
+        return path
 
     def latest(self) -> Optional[RunCheckpoint]:
         """The newest complete checkpoint in the directory, or None."""

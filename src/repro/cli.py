@@ -42,7 +42,7 @@ from .experiments import (DATASETS, DEFAULT_CACHE_DIR, ResultCache,
                           run_scenario_sweep, scaled, summarize,
                           table1_accuracy_flops)
 from .parallel import (available_backends, available_codecs,
-                       resolve_executor)
+                       available_fault_plans, resolve_executor)
 from .scenarios import available_scenarios
 from .server import available_aggregations
 
@@ -75,6 +75,12 @@ def _preset_overrides(args: argparse.Namespace) -> dict:
         overrides["aggregation"] = args.aggregation
     if getattr(args, "codec", None) is not None:
         overrides["codec"] = args.codec
+    if getattr(args, "fault_plan", None) is not None:
+        overrides["fault_plan"] = args.fault_plan
+    if getattr(args, "task_timeout", None) is not None:
+        overrides["task_timeout"] = args.task_timeout
+    if getattr(args, "max_retries", None) is not None:
+        overrides["max_retries"] = args.max_retries
     return overrides
 
 
@@ -104,6 +110,22 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
                              "dense (raw arrays), sparse (lossless indexed "
                              "slices), int8 (learned-scale quantization) or "
                              "pq (product quantization); default: dense")
+    parser.add_argument("--fault-plan", default=None,
+                        choices=available_fault_plans(),
+                        help="deterministic chaos schedule injected into the "
+                             "client fan-out (repro.parallel.faults), seeded "
+                             "from the run seed and cache-keyed like the "
+                             "codec; pair with --max-retries so injected "
+                             "faults are retried instead of dropped")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help="per-client-task wall-clock timeout in seconds; "
+                             "a timed-out task is retried (then dropped) and "
+                             "its hung worker reclaimed on the process "
+                             "backend")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        help="retry a failed client task up to N times with "
+                             "capped exponential backoff before dropping "
+                             "the client from the round (default 0)")
     parser.add_argument("--rounds", type=int, default=None)
     parser.add_argument("--clients", type=int, default=None)
     parser.add_argument("--clients-per-round", type=int, default=None)
@@ -276,6 +298,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--codec-output", default="BENCH_codec.json",
                               help="where to write the codec JSON report "
                                    "('' skips writing)")
+    bench_parser.add_argument("--fault-scale", type=float, default=None,
+                              help="run the fault-tolerance axis instead: "
+                                   "time a clean vs a chaos run (injected "
+                                   "crashes/hangs/exceptions with retries) "
+                                   "per backend on an x SCALE workload, "
+                                   "gating cross-backend bit-identity, "
+                                   "fault-free equivalence and the chaos "
+                                   "overhead budget; written to "
+                                   "--fault-output")
+    bench_parser.add_argument("--fault-output", default="BENCH_faults.json",
+                              help="where to write the fault-tolerance JSON "
+                                   "report ('' skips writing)")
+    bench_parser.add_argument("--fault-plan", default=None,
+                              choices=available_fault_plans(),
+                              help="fault plan for the --fault-scale chaos "
+                                   "run (default: chaos)")
 
     sub.add_parser("list", help="list available methods")
     return parser
@@ -293,11 +331,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         axes = [flag for flag, value in (
             ("--fleet-scale", args.fleet_scale),
             ("--checkpoint-scale", args.checkpoint_scale),
-            ("--codec-scale", args.codec_scale)) if value is not None]
+            ("--codec-scale", args.codec_scale),
+            ("--fault-scale", args.fault_scale)) if value is not None]
         if len(axes) > 1:
             print(f"bench {' and '.join(axes)} are separate axes; run them "
                   "as separate invocations", flush=True)
             return 2
+        if args.fault_plan is not None and args.fault_scale is None:
+            print("bench --fault-plan applies only to the --fault-scale "
+                  "axis", flush=True)
+            return 2
+        if args.fault_scale is not None:
+            clashes = _fanout_only_clashes(args)
+            if clashes:
+                print(f"bench --fault-scale ignores {', '.join(clashes)} — "
+                      "those apply only to the fan-out bench (the fault "
+                      "axis writes its report to --fault-output)",
+                      flush=True)
+                return 2
+            from .benchmarking import format_fault_report, run_fault_bench
+            report = run_fault_bench(scale=args.fault_scale,
+                                     plan=args.fault_plan or "chaos",
+                                     output=args.fault_output or None)
+            print(format_fault_report(report))
+            if args.fault_output:
+                print(f"# report written to {args.fault_output}")
+            if args.check and not report["gate"]["pass"]:
+                return 1
+            return 0
         if args.codec_scale is not None:
             clashes = _fanout_only_clashes(args)
             if clashes:

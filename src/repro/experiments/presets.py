@@ -19,6 +19,7 @@ from ..federated import AGGREGATIONS, FederatedConfig, FleetConfig
 from ..models import build_model_for_dataset
 from ..nn.model import Sequential
 from ..parallel.codec import available_codecs
+from ..parallel.faults import available_fault_plans, build_fault_plan
 from ..scenarios import available_scenarios, build_scenario
 from ..systems import DeviceFleet, sample_device_fleet
 from ..systems.devices import HETEROGENEITY_PRESETS
@@ -60,6 +61,13 @@ class ExperimentPreset:
     #: personalized-evaluation cap (``None`` = every client, the paper's
     #: metric; large-fleet presets sample a fixed deterministic subset)
     eval_clients: Optional[int] = None
+    #: named deterministic fault plan (``repro.parallel.faults``), seeded
+    #: from the run seed; None runs fault-free.  Cache-keyed like the codec.
+    fault_plan: Optional[str] = None
+    #: supervised-execution knobs (``repro.parallel.supervision``): per-task
+    #: wall-clock timeout and bounded retries with exponential backoff
+    task_timeout: Optional[float] = None
+    max_retries: int = 0
     seed: int = 0
     extra_config: Dict[str, float] = field(default_factory=dict)
 
@@ -120,6 +128,11 @@ def build_experiment(preset: ExperimentPreset
         raise ValueError(
             f"unknown codec {preset.codec!r}; "
             f"choose from {available_codecs()}")
+    if (preset.fault_plan is not None
+            and preset.fault_plan not in available_fault_plans()):
+        raise ValueError(
+            f"unknown fault plan {preset.fault_plan!r}; "
+            f"choose from {available_fault_plans()}")
     dataset = build_federated_dataset(
         preset.dataset, preset.num_clients,
         classes_per_client=preset.classes_per_client,
@@ -140,6 +153,10 @@ def build_experiment(preset: ExperimentPreset
                                 seed=preset.seed),
         aggregation=preset.aggregation,
         codec=preset.codec,
+        faults=(build_fault_plan(preset.fault_plan, seed=preset.seed)
+                if preset.fault_plan is not None else None),
+        task_timeout=preset.task_timeout,
+        max_retries=preset.max_retries,
         fleet=FleetConfig(lazy=preset.lazy_fleet,
                           eval_clients=preset.eval_clients),
         extra=dict(preset.extra_config))

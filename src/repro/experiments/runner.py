@@ -22,6 +22,7 @@ from ..baselines import build_strategy
 from ..federated import FederatedTrainer
 from ..federated.strategy import Strategy
 from ..parallel import Executor
+from ..parallel.supervision import RetryPolicy, retry_call
 from ..systems import TrainingHistory
 from .cache import ResultCache, run_spec, spec_key
 from .presets import ExperimentPreset, build_experiment, preset_for, scaled
@@ -109,18 +110,19 @@ def _sweep_job_resilient(payload: _ResilientJob) -> TrainingHistory:
 
     Retrying must live *inside* the job function: executor backends
     propagate a worker exception straight to the caller, which would take
-    the whole sweep down with it.  Every attempt resumes from the cell's
-    latest checkpoint, so attempt N+1 repeats only the rounds attempt N had
-    not yet persisted; the final attempt re-raises.
+    the whole sweep down with it.  The retry loop is the shared
+    :func:`~repro.parallel.supervision.retry_call` machinery (bounded
+    attempts, capped backoff); every attempt resumes from the cell's latest
+    checkpoint, so attempt N+1 repeats only the rounds attempt N had not
+    yet persisted — and the schedulers' emergency checkpoint means a crash
+    mid-round costs at most the crashed round.  The final attempt re-raises.
     """
     (method, preset, strategy_kwargs), cell_dir, retries = payload
-    for attempt in range(retries + 1):
-        try:
-            return run_method(method, preset, strategy_kwargs=strategy_kwargs,
-                              checkpoint_dir=cell_dir, resume=cell_dir is not None)
-        except Exception:
-            if attempt >= retries:
-                raise
+    return retry_call(
+        lambda: run_method(method, preset, strategy_kwargs=strategy_kwargs,
+                           checkpoint_dir=cell_dir,
+                           resume=cell_dir is not None),
+        policy=RetryPolicy(max_retries=retries))
 
 
 def run_jobs(specs: List[JobSpec], *, executor: Optional[Executor] = None,

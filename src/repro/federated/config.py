@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..scenarios.config import ScenarioConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import only for annotations
+    from ..parallel.faults import FaultPlan
 
 #: the aggregation modes the event-driven server core understands (see
 #: ``repro.server.scheduler`` — sync is the paper's synchronous round loop,
@@ -101,6 +104,16 @@ class FederatedConfig:
     # bytes); "int8"/"pq" are lossy low-precision modes with their own
     # golden fixtures
     codec: str = "dense"
+    # deterministic fault injection (``repro.parallel.faults``): a chaos
+    # schedule whose decisions are pure in (fault_seed, round, client,
+    # attempt) — rides the checkpoint digest and result cache like every
+    # other field; None runs fault-free
+    faults: Optional["FaultPlan"] = None
+    # supervised execution (``repro.parallel.supervision``): per-task
+    # wall-clock timeout and bounded retries with exponential backoff; a
+    # task that exhausts its retries degrades into a dropped client
+    task_timeout: Optional[float] = None
+    max_retries: int = 0
     # client-fleet materialization: lazy O(cohort) fleets (default) vs the
     # retained eager path, shard-cache bound, evaluation-sweep cap
     fleet: FleetConfig = field(default_factory=FleetConfig)
@@ -138,5 +151,15 @@ class FederatedConfig:
         if self.codec not in available_codecs():
             raise ValueError(f"unknown codec {self.codec!r}; "
                              f"choose from {available_codecs()}")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.faults is not None:
+            # imported late for the same reason as the codec check above
+            from ..parallel.faults import FaultPlan
+
+            if not isinstance(self.faults, FaultPlan):
+                raise TypeError("faults must be a FaultPlan")
         if not isinstance(self.fleet, FleetConfig):
             raise TypeError("fleet must be a FleetConfig")

@@ -69,6 +69,13 @@ class Executor:
     #: the serial backend runs tasks inline on the real objects, so handing
     #: it handles would only add (de)serialization work
     supports_broadcast = False
+    #: whether injected faults can be realized for real on this backend —
+    #: a worker crash actually kills a process, a hang actually stalls one
+    #: (see ``repro.parallel.faults``); in-process backends simulate both
+    supports_real_faults = False
+    #: whether :meth:`replenish` can rebuild the worker pool after a dead
+    #: or hung worker (process pools can; threads cannot be killed)
+    can_replenish = False
 
     def __init__(self, workers: int = 1) -> None:
         self.workers = default_worker_count() if workers <= 0 else int(workers)
@@ -86,6 +93,17 @@ class Executor:
 
     def warm_up(self) -> None:
         """Eagerly start the pool's workers (no-op for inline backends)."""
+
+    def replenish(self) -> None:
+        """Rebuild the worker pool after worker loss (pool backends only).
+
+        The supervision layer (:mod:`repro.parallel.supervision`) calls
+        this after a broken pool or a reclaimed hang; backends that cannot
+        lose workers refuse instead of pretending.
+        """
+        raise RuntimeError(
+            f"{type(self).__name__} cannot replenish workers "
+            "(can_replenish is False)")
 
     @property
     def closed(self) -> bool:
@@ -154,6 +172,18 @@ class _PoolExecutor(Executor):
     def _prepare(self, fn: Callable[[Any], Any]) -> Callable[[Any], Any]:
         """Hook: wrap the task function before submission."""
         return fn
+
+    def submit(self, fn: Callable[[Any], Any],
+               item: Any) -> concurrent.futures.Future:
+        """Submit one task, returning its future (supervision entry point).
+
+        Goes through the same :meth:`_prepare` hook as the ``map`` calls,
+        so per-task payload isolation (the thread backend's pickled clone)
+        applies identically to supervised submissions.
+        """
+        self._ensure_open()
+        self._observe([item])
+        return self._pool().submit(self._prepare(fn), item)
 
     def map_ordered(self, fn, items):
         self._ensure_open()
@@ -239,16 +269,48 @@ class ProcessPoolExecutor(_PoolExecutor):
 
     backend = "process"
     supports_broadcast = True
+    supports_real_faults = True
+    can_replenish = True
 
     def __init__(self, workers: int = 1, *, start_method: str = "spawn") -> None:
         super().__init__(workers)
-        context = multiprocessing.get_context(start_method)
-        self._executor: concurrent.futures.Executor = \
-            concurrent.futures.ProcessPoolExecutor(max_workers=self.workers,
-                                                   mp_context=context)
+        self._mp_context = multiprocessing.get_context(start_method)
+        self._executor: concurrent.futures.Executor = self._spawn_pool()
+
+    def _spawn_pool(self) -> concurrent.futures.Executor:
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=self._mp_context)
 
     def _pool(self):
         return self._executor
+
+    def replenish(self):
+        """Replace the pool after worker loss (broken pool, reclaimed hang).
+
+        The old pool is torn down without waiting — its workers are either
+        already dead (a crash broke the pool) or abandoned mid-hang, and
+        lingering ones are terminated outright.  The replacement pool
+        starts cold; replacement workers need *no* re-shipped state — the
+        run-invariant broadcast session still lives in the server-owned
+        shared-memory manifest, so their first task re-materializes from
+        the same handles every original worker used (no re-pickle of
+        params — ``tests/parallel/test_supervision.py`` pins this).
+        """
+        self._ensure_open()
+        old = self._executor
+        # grab the worker handles before shutdown() drops its reference to
+        # them (it sets _processes = None even with wait=False)
+        workers = list((getattr(old, "_processes", None) or {}).values())
+        try:
+            old.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken pools may mis-shutdown
+            pass
+        # a hung (or kill-orphaned) worker survives a no-wait shutdown;
+        # reclaim it explicitly so replenishment never leaks processes
+        for process in workers:
+            if process.is_alive():
+                process.terminate()
+        self._executor = self._spawn_pool()
 
 
 EXECUTOR_BACKENDS: Dict[str, Type[Executor]] = {

@@ -43,6 +43,7 @@ from ..nn.model import Sequential
 from ..nn.params import param_nbytes
 from ..parallel import Broadcast, BroadcastHandle, Executor, materialize
 from ..parallel.codec import EncodedParams, resolve_codec
+from ..parallel.supervision import RetryPolicy, run_supervised
 from ..scenarios.engine import RoundOutcome, ScenarioEngine
 from ..sparsity.accounting import SparseCost
 from ..systems.cost import CostBreakdown, LocalCostModel
@@ -286,6 +287,17 @@ class ServerCore:
         # for non-dense codecs so dense histories stay byte-stable
         self.codec = resolve_codec(self.config.codec)
         self._last_wire: Optional[Dict[str, float]] = None
+        # supervised execution (retries/timeouts/fault injection): active
+        # whenever the config asks for any of it; the per-fan-out fault
+        # report (take_fault_report) mirrors the wire report's one-shot
+        # shape so default runs attach nothing and stay byte-stable
+        self.retry_policy = RetryPolicy(
+            max_retries=self.config.max_retries,
+            task_timeout=self.config.task_timeout)
+        self.supervised = (self.config.faults is not None
+                           or self.retry_policy.active)
+        self._last_faults: Optional[Dict[str, float]] = None
+        self._last_failed: List[int] = []
         lazy = self.config.fleet.lazy
         self.fleet = fleet if fleet is not None else sample_device_fleet(
             dataset.num_clients, seed=self.config.seed, lazy=lazy)
@@ -537,12 +549,34 @@ class ServerCore:
         because they impose their own order — the event queue's pure
         ``(finish_time, client_id)`` sort — so the per-update contents are
         identical either way.
+
+        With supervision active (``config.faults`` / ``max_retries`` /
+        ``task_timeout``) the fan-out goes through
+        :func:`repro.parallel.supervision.run_supervised` instead: failed
+        tasks are retried with backoff, crashed workers replenished, and a
+        client that exhausts its retries is *dropped* — it produces no
+        update (so it never reaches ``aggregate``/``post_round``) and is
+        reported through :meth:`take_fault_report` for the scheduler's
+        ``dropped`` bookkeeping.
         """
         encoded_down = self._snap_global_params()
         if self.executor is None or not selected:
-            updates = [self.strategy.local_update(round_index,
-                                                  self.clients[cid])
-                       for cid in selected]
+            if self.supervised:
+                def inline_task(cid):
+                    return self.strategy.local_update(round_index,
+                                                      self.clients[cid])
+
+                report = run_supervised(
+                    None, inline_task, [(cid, cid) for cid in selected],
+                    policy=self.retry_policy, plan=self.config.faults,
+                    round_index=round_index)
+                self._stash_fault_report(report)
+                updates = [update for update in report.results
+                           if update is not None]
+            else:
+                updates = [self.strategy.local_update(round_index,
+                                                      self.clients[cid])
+                           for cid in selected]
         else:
             if self._broadcast_enabled():
                 session = self._session_handle()
@@ -556,14 +590,17 @@ class ServerCore:
                     payloads = [(session, broadcast.handle, round_index, cid,
                                  self.clients.peek_state(cid))
                                 for cid in selected]
-                    results = self._map(_broadcast_local_update_task,
-                                        payloads, ordered=ordered)
+                    results = self._dispatch(_broadcast_local_update_task,
+                                             selected, payloads,
+                                             round_index=round_index,
+                                             ordered=ordered)
             else:
                 legacy = [(self._dispatch_strategy(self.clients[cid]),
                            round_index, self.clients[cid])
                           for cid in selected]
-                results = self._map(_local_update_task, legacy,
-                                    ordered=ordered)
+                results = self._dispatch(_local_update_task, selected, legacy,
+                                         round_index=round_index,
+                                         ordered=ordered)
             updates = []
             for update, state in results:
                 self.clients.update_state(update.client_id, state)
@@ -571,6 +608,35 @@ class ServerCore:
         if self.codec.name != "dense":
             self._decode_uplinks(updates, encoded_down, len(selected))
         return updates
+
+    def _dispatch(self, fn, selected: List[int], payloads, *,
+                  round_index: int, ordered: bool) -> List:
+        """Fan payloads out — supervised when the config asks for it."""
+        if not self.supervised:
+            return self._map(fn, payloads, ordered=ordered)
+        report = run_supervised(
+            self.executor, fn, list(zip(selected, payloads)),
+            policy=self.retry_policy, plan=self.config.faults,
+            round_index=round_index)
+        self._stash_fault_report(report)
+        return [result for result in report.results if result is not None]
+
+    def _stash_fault_report(self, report) -> None:
+        self._last_faults = report.counters.as_extras()
+        self._last_failed = sorted(report.failed)
+
+    def take_fault_report(self) -> Tuple[Dict[str, float], List[int]]:
+        """The last fan-out's fault accounting + the clients it gave up on.
+
+        One-shot, like :meth:`take_wire_report`: the scheduler merges the
+        counters into ``RoundRecord.extras`` (``fault_*`` keys, present
+        only when supervision is active so default histories stay
+        byte-stable) and the exhausted clients into the round's ``dropped``
+        list.  Returns ``({}, [])`` when supervision is inactive.
+        """
+        faults, failed = self._last_faults, self._last_failed
+        self._last_faults, self._last_failed = None, []
+        return (faults or {}, failed)
 
     def _decode_uplinks(self, updates: List[ClientUpdate],
                         encoded_down: Optional[EncodedParams],

@@ -54,13 +54,39 @@ from typing import Any, Dict, List, Optional, Type
 
 import numpy as np
 
-from ..checkpoint import CheckpointManager, RunCheckpoint, restore_run
+from contextlib import contextmanager
+
+from ..checkpoint import (CheckpointManager, RunCheckpoint,
+                          TrainingInterrupted, restore_run)
 from ..federated.config import AGGREGATIONS, FederatedConfig
 from ..systems.cost import CostBreakdown, LocalCostModel
 from ..systems.metrics import RoundRecord, TrainingHistory
 from .clock import ClientEvent, EventQueue, SimClock
 from .core import ServerCore
 from .policy import AggregationPolicy, Arrival
+
+
+@contextmanager
+def _emergency_guard(checkpointer: Optional[CheckpointManager]):
+    """Persist the last round boundary before an unrecoverable crash.
+
+    Any exception escaping the round loop (exhausted supervision budget
+    with no degradation path, a broken pool on a backend that cannot
+    replenish, a genuine bug) first flushes the most recent round-boundary
+    capsule to disk — if one exists and is not already saved — so the run
+    can be resumed with ``--resume`` instead of restarting from round 0.
+    :class:`TrainingInterrupted` is the checkpointer's own control-flow
+    signal (``stop_after_round``); it already saved, so it passes through
+    untouched.  The exception is re-raised either way.
+    """
+    try:
+        yield
+    except TrainingInterrupted:
+        raise
+    except Exception:
+        if checkpointer is not None:
+            checkpointer.emergency()
+        raise
 
 
 class Scheduler:
@@ -108,6 +134,12 @@ class SyncScheduler(Scheduler):
     def run(self, core: ServerCore, *,
             checkpointer: Optional[CheckpointManager] = None,
             resume: Optional[RunCheckpoint] = None) -> TrainingHistory:
+        with _emergency_guard(checkpointer):
+            return self._run(core, checkpointer=checkpointer, resume=resume)
+
+    def _run(self, core: ServerCore, *,
+             checkpointer: Optional[CheckpointManager],
+             resume: Optional[RunCheckpoint]) -> TrainingHistory:
         config = core.config
         history = TrainingHistory(method=core.strategy.name,
                                   dataset=core.dataset.name)
@@ -128,6 +160,10 @@ class SyncScheduler(Scheduler):
             selected = core.select_clients(round_index)
             active, unavailable = core.split_available(round_index, selected)
             updates = core.run_local_updates(round_index, active)
+            # supervision accounting of the fan-out (one-shot, like the wire
+            # report): fault_* counters for extras, exhausted-retry clients
+            # for the dropped list — they never reach aggregate/post_round
+            fault_extras, failed = core.take_fault_report()
 
             costs = core.client_costs(round_index, updates)
             round_flops = float(sum(u.flops for u in updates))
@@ -165,12 +201,14 @@ class SyncScheduler(Scheduler):
                 cumulative_time_seconds=cumulative_time,
                 sparse_ratios={u.client_id: u.sparse_ratio for u in updates},
                 # wire byte accounting of the fan-out, present only under a
-                # non-dense codec (so dense histories stay byte-stable)
-                extras=core.take_wire_report() or {},
+                # non-dense codec; fault_* counters only under supervision
+                # (so default histories stay byte-stable either way)
+                extras={**(core.take_wire_report() or {}), **fault_extras},
                 evaluated=should_eval,
                 sim_time=outcome.sim_time,
                 cumulative_sim_time=cumulative_sim_time,
-                dropped=sorted(unavailable) + list(outcome.stragglers),
+                dropped=sorted(unavailable) + failed
+                        + list(outcome.stragglers),
                 straggler_count=len(outcome.stragglers)))
             if checkpointer is not None:
                 checkpointer.after_round(core, self, history, round_index)
@@ -249,6 +287,12 @@ class _EventDrivenScheduler(Scheduler):
     def run(self, core: ServerCore, *,
             checkpointer: Optional[CheckpointManager] = None,
             resume: Optional[RunCheckpoint] = None) -> TrainingHistory:
+        with _emergency_guard(checkpointer):
+            return self._run(core, checkpointer=checkpointer, resume=resume)
+
+    def _run(self, core: ServerCore, *,
+             checkpointer: Optional[CheckpointManager],
+             resume: Optional[RunCheckpoint]) -> TrainingHistory:
         config = core.config
         policy = AggregationPolicy(alpha=config.async_alpha,
                                    exponent=config.staleness_exponent)
@@ -281,6 +325,9 @@ class _EventDrivenScheduler(Scheduler):
             ready = [cid for cid in available if cid not in blocked]
             updates = core.run_local_updates(round_index, ready,
                                              ordered=False)
+            # supervision accounting (one-shot): exhausted-retry clients are
+            # dropped — never dispatched into the event queue
+            fault_extras, failed = core.take_fault_report()
             # completion order is real-time nondeterministic; re-impose the
             # pure client-id order before any float accumulation so sums and
             # cost iteration stay bit-identical across backends
@@ -339,11 +386,11 @@ class _EventDrivenScheduler(Scheduler):
                 cumulative_flops=cumulative_flops,
                 cumulative_time_seconds=cumulative_time,
                 sparse_ratios={u.client_id: u.sparse_ratio for u in updates},
-                extras=core.take_wire_report() or {},
+                extras={**(core.take_wire_report() or {}), **fault_extras},
                 evaluated=should_eval,
                 sim_time=clock.now - round_start,
                 cumulative_sim_time=clock.now,
-                dropped=sorted(unavailable) + busy,
+                dropped=sorted(unavailable) + busy + failed,
                 staleness_mean=staleness_mean,
                 buffer_size=self.pending_buffer()))
             if checkpointer is not None:

@@ -35,6 +35,17 @@ class TestSpecKeys:
         assert spec_key(run_spec(
             "fedavg", tiny_preset(scenario="deadline-tight"))) != base
 
+    def test_key_covers_the_supervision_knobs(self):
+        """Chaos runs must never collide with clean runs in the cache."""
+        base = spec_key(run_spec("fedavg", tiny_preset()))
+        assert spec_key(run_spec(
+            "fedavg", tiny_preset(fault_plan="chaos",
+                                  max_retries=4))) != base
+        assert spec_key(run_spec(
+            "fedavg", tiny_preset(max_retries=2))) != base
+        assert spec_key(run_spec(
+            "fedavg", tiny_preset(task_timeout=30.0))) != base
+
     def test_kwargs_insertion_order_is_irrelevant(self):
         forward = run_spec("fedavg", tiny_preset(), {"a": 1, "b": 2})
         backward = run_spec("fedavg", tiny_preset(), {"b": 2, "a": 1})

@@ -84,6 +84,30 @@ class TestParser:
         assert args.codec_scale is None
         assert args.codec_output == "BENCH_codec.json"
 
+    def test_fault_plan_choices(self):
+        args = build_parser().parse_args(
+            ["run", "--fault-plan", "chaos", "--max-retries", "3",
+             "--task-timeout", "30"])
+        assert args.fault_plan == "chaos"
+        assert args.max_retries == 3
+        assert args.task_timeout == 30.0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--fault-plan",
+                                       "meteor-strike"])
+
+    def test_fault_flags_default_off(self):
+        for command in ("run", "sweep"):
+            args = build_parser().parse_args([command])
+            assert args.fault_plan is None
+            assert args.task_timeout is None
+            assert args.max_retries is None
+
+    def test_bench_fault_axis_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.fault_scale is None
+        assert args.fault_output == "BENCH_faults.json"
+        assert args.fault_plan is None
+
 
 class TestCommands:
     def test_list_prints_methods(self, capsys):
@@ -125,6 +149,16 @@ class TestCommands:
                      "--backend", "thread", "--workers", "2"] + TINY) == 0
         thread_out = capsys.readouterr().out
         assert thread_out == serial_out
+
+    def test_run_with_recovered_chaos_matches_clean_run(self, capsys):
+        """Supervised retries absorb the injected faults: same summary."""
+        argv = ["run", "--method", "fedavg", "--dataset", "mnist"] + TINY
+        assert main(argv) == 0
+        clean_out = capsys.readouterr().out
+        assert main(argv + ["--fault-plan", "chaos", "--max-retries", "4",
+                            "--task-timeout", "30"]) == 0
+        chaos_out = capsys.readouterr().out
+        assert chaos_out == clean_out
 
     def test_run_with_fedasync_aggregation(self, capsys):
         assert main(["run", "--method", "fedavg", "--dataset", "mnist",
