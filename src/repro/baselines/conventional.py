@@ -12,9 +12,11 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..federated.batched import train_cohort_batched
 from ..federated.client import Client
 from ..federated.local import train_locally
 from ..federated.strategy import ClientUpdate, Strategy, StrategyContext
+from ..nn.batched import batchable_model
 
 
 class FedAvg(Strategy):
@@ -51,6 +53,38 @@ class FedProx(Strategy):
             train_accuracy=result.train_accuracy, train_loss=result.train_loss,
             flops=flops, upload_bytes=upload, download_bytes=download)
 
+    def cohort_batchable(self) -> bool:
+        # the proximal term broadcasts along the client axis, so FedProx
+        # batches whenever the model has batched kernels
+        context = self._require_context()
+        return batchable_model(context.model)
+
+    def local_update_cohort(self, round_index: int,
+                            clients: List[Client]
+                            ) -> Optional[List[ClientUpdate]]:
+        context = self._require_context()
+        config = context.config
+        results = train_cohort_batched(
+            context.model,
+            [self.global_params] * len(clients),
+            [client.train_data for client in clients],
+            iterations=config.local_iterations, batch_size=config.batch_size,
+            learning_rate=config.learning_rate, momentum=config.momentum,
+            clip_norm=config.clip_norm, prox_mu=self.mu,
+            prox_center=self.global_params,
+            rngs=[self._client_rng(round_index, client.client_id)
+                  for client in clients])
+        updates = []
+        for client, result in zip(clients, results):
+            flops, upload, download = self._round_footprint(client)
+            updates.append(ClientUpdate(
+                client_id=client.client_id, params=result.params,
+                num_examples=client.num_train_examples,
+                train_accuracy=result.train_accuracy,
+                train_loss=result.train_loss,
+                flops=flops, upload_bytes=upload, download_bytes=download))
+        return updates
+
 
 class Oort(Strategy):
     """Guided participant selection by statistical utility (Lai et al., OSDI'21).
@@ -84,8 +118,8 @@ class Oort(Strategy):
         if count is None:
             count = context.config.clients_per_round
         count = min(count, len(ids))
-        explored = [cid for cid in ids if cid in self._last_loss]
-        unexplored = [cid for cid in ids if cid not in self._last_loss]
+        explored = [int(cid) for cid in ids if cid in self._last_loss]
+        unexplored = [int(cid) for cid in ids if cid not in self._last_loss]
         n_explore = min(len(unexplored),
                         max(1, int(round(self.exploration_fraction * count)))
                         if unexplored else 0)
@@ -99,7 +133,7 @@ class Oort(Strategy):
             ranked = sorted(explored, key=lambda cid: scores[cid], reverse=True)
             chosen.extend(ranked[:n_exploit])
         # pad with random clients if we still have open slots
-        remaining = [cid for cid in ids if cid not in chosen]
+        remaining = [int(cid) for cid in ids if cid not in chosen]
         while len(chosen) < count and remaining:
             pick = int(context.rng.choice(remaining))
             remaining.remove(pick)
@@ -154,10 +188,11 @@ class REFL(Strategy):
         if count is None:
             count = context.config.clients_per_round
         count = min(count, len(ids))
-        staleness = {cid: round_index - self._last_selected.get(cid, -1)
+        staleness = {int(cid): round_index - self._last_selected.get(int(cid), -1)
                      for cid in ids}
-        jitter = {cid: float(context.rng.random()) for cid in ids}
-        ranked = sorted(ids, key=lambda cid: (staleness[cid], jitter[cid]),
+        jitter = {int(cid): float(context.rng.random()) for cid in ids}
+        ranked = sorted(staleness,
+                        key=lambda cid: (staleness[cid], jitter[cid]),
                         reverse=True)
         return sorted(ranked[:count])
 

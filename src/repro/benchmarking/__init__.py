@@ -1,5 +1,7 @@
 """Performance benchmarking harness (``repro bench``)."""
 
+from .batch import (batch_preset, format_batch_report, measure_batching,
+                    run_batch_bench)
 from .checkpoint import (format_checkpoint_report, measure_checkpoint,
                          run_checkpoint_bench)
 from .codec import format_codec_report, measure_codec, run_codec_bench
@@ -13,6 +15,10 @@ from .fleet import (fleet_preset, format_fleet_report, measure_construction,
 
 __all__ = [
     "BENCH_METHOD",
+    "batch_preset",
+    "format_batch_report",
+    "measure_batching",
+    "run_batch_bench",
     "format_checkpoint_report",
     "measure_checkpoint",
     "run_checkpoint_bench",

@@ -1,0 +1,196 @@
+"""Cohort-batching benchmark: vectorized local training vs the client loop.
+
+``repro bench --batch-scale`` pins the contract of the vectorized cohort
+engine (:mod:`repro.federated.batched`, ``FederatedConfig.batch_cohort``):
+
+* at a cross-device-style workload (many small local steps) a cohort of
+  16 clients must train **at least 2x faster** fused into one batched
+  tensor program than through the per-client loop, for both the dense
+  FedAvg path and FedLPS's learnable sparsification;
+* the speedup must be *free*: the batched run's history digest must equal
+  the loop run's digest bit-for-bit on every measured cell.
+
+Timing uses the best of ``BENCH_REPEATS`` full runs per cell (min, not
+mean — the minimum is the least noisy location statistic for wall-clock
+benchmarks).  The report lands in ``BENCH_batch.json``, schema-compatible
+with the ``BENCH_fanout``/``BENCH_faults`` family (``bench_scale``,
+``cpu_count``, per-cell ``seconds``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+#: the batched program must beat the loop by this factor at the gated cohort
+GATE_MIN_SPEEDUP = 2.0
+#: cells with at least this many clients per round are speed-gated
+GATE_COHORT = 16
+
+#: methods every cell measures: the dense baseline engine and the paper's
+#: learnable-sparsification engine
+BENCH_METHODS = ("fedavg", "fedlps")
+
+#: cohort sizes measured per method (the >= GATE_COHORT ones are gated)
+BENCH_COHORTS = (4, 16)
+
+#: full runs per (method, cohort, mode) cell; the minimum wall-clock wins
+BENCH_REPEATS = 5
+
+
+def batch_preset(cohort: int, scale: float = 1.0, *, seed: int = 0,
+                 batched: bool = False):
+    """The bench workload: many small local steps on a homogeneous cohort.
+
+    Cohort batching pays off where the per-step tensor work is small and
+    the Python/dispatch overhead per client step dominates — the
+    cross-device regime (per-example SGD, many local iterations).
+    ``examples_per_client`` is a multiple of ``batch_size`` so every
+    client's schedule is homogeneous (no ragged padding) and the fully
+    batched matmul path is exercised.
+    """
+    from ..experiments.presets import preset_for, scaled
+
+    return scaled(
+        preset_for("mnist"),
+        num_clients=cohort,
+        clients_per_round=cohort,
+        num_rounds=max(1, int(round(2 * scale))),
+        local_iterations=max(2, int(round(16 * scale))),
+        batch_size=1,
+        examples_per_client=16,
+        eval_clients=0,
+        seed=seed,
+        batch_cohort=batched)
+
+
+def _history_digest(history) -> str:
+    canonical = json.dumps(history.to_dict(), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _one_run(method: str, preset) -> Tuple[float, str]:
+    """Wall clock and history digest of one serial run."""
+    from ..experiments.runner import run_method
+
+    start = time.perf_counter()
+    history = run_method(method, preset)
+    return time.perf_counter() - start, _history_digest(history)
+
+
+def measure_batching(method: str, cohort: int, *, scale: float = 1.0,
+                     seed: int = 0,
+                     repeats: int = BENCH_REPEATS) -> Dict[str, object]:
+    """Time one (method, cohort) cell in loop mode and batched mode.
+
+    Loop and batched runs are INTERLEAVED so a transient slowdown (shared
+    CI runner, frequency scaling) hits both sides of the ratio rather
+    than biasing one; the minimum over repeats is taken per side.
+    """
+    loop_preset = batch_preset(cohort, scale, seed=seed)
+    batched_preset = batch_preset(cohort, scale, seed=seed, batched=True)
+    # one unmeasured warm-up run per mode primes lazy imports/caches
+    _one_run(method, loop_preset)
+    _one_run(method, batched_preset)
+    loop_seconds = batched_seconds = float("inf")
+    loop_digest = batched_digest = None
+    for _ in range(repeats):
+        seconds, loop_digest = _one_run(method, loop_preset)
+        loop_seconds = min(loop_seconds, seconds)
+        seconds, batched_digest = _one_run(method, batched_preset)
+        batched_seconds = min(batched_seconds, seconds)
+    return {
+        "method": method,
+        "cohort": cohort,
+        "loop_seconds": loop_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": loop_seconds / batched_seconds,
+        "loop_digest": loop_digest,
+        "batched_digest": batched_digest,
+        "bit_identical": loop_digest == batched_digest,
+        # family-wide headline column: the batched run's cost
+        "seconds": batched_seconds,
+    }
+
+
+def _gate(cells: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Pass/fail: >= 2x at cohort >= 16, identical histories everywhere."""
+    if not cells:
+        return {"pass": False, "reason": "no cells measured"}
+    identical = all(cell["bit_identical"] for cell in cells)
+    gated = [cell for cell in cells if cell["cohort"] >= GATE_COHORT]
+    fast_enough = bool(gated) and all(
+        float(cell["speedup"]) >= GATE_MIN_SPEEDUP for cell in gated)
+    worst = min((float(cell["speedup"]) for cell in gated), default=0.0)
+    return {
+        "pass": identical and fast_enough,
+        "bit_identical": identical,
+        "fast_enough": fast_enough,
+        "min_gated_speedup": worst,
+        "min_speedup_required": GATE_MIN_SPEEDUP,
+        "gated_cohort": GATE_COHORT,
+    }
+
+
+def run_batch_bench(scale: float = 1.0, *,
+                    methods: Optional[Iterable[str]] = None,
+                    cohorts: Optional[Iterable[int]] = None,
+                    seed: int = 0,
+                    output: Optional[str] = None) -> Dict[str, object]:
+    """Run the cohort-batching benchmark, optionally writing the report.
+
+    ``scale`` multiplies the workload (rounds, local iterations), the same
+    convention as the other ``repro bench`` axes.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    cells = [measure_batching(method, cohort, scale=scale, seed=seed)
+             for method in (methods if methods is not None else BENCH_METHODS)
+             for cohort in (cohorts if cohorts is not None else BENCH_COHORTS)]
+    report: Dict[str, object] = {
+        "bench_scale": scale,
+        "repeats": BENCH_REPEATS,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "cpu_count": os.cpu_count(),
+        "cells": cells,
+        "gate": _gate(cells),
+    }
+    if output:
+        Path(output).write_text(json.dumps(report, indent=2, sort_keys=True))
+    return report
+
+
+def format_batch_report(report: Dict[str, object]) -> str:
+    """Render a batching report as the aligned text table the CLI prints."""
+    lines = [f"# repro bench --batch-scale {report['bench_scale']} — "
+             f"cpu_count {report['cpu_count']}, "
+             f"best of {report['repeats']} runs"]
+    header = (f"{'method':>8s} | {'cohort':>6s} | {'loop_s':>8s} | "
+              f"{'batch_s':>8s} | {'speedup':>7s} | {'identical':>9s}")
+    lines += [header, "-" * len(header)]
+    for cell in report["cells"]:
+        lines.append(
+            f"{cell['method']:>8s} | "
+            f"{cell['cohort']:>6d} | "
+            f"{cell['loop_seconds']:>8.3f} | "
+            f"{cell['batched_seconds']:>8.3f} | "
+            f"{cell['speedup']:>6.2f}x | "
+            f"{str(bool(cell['bit_identical'])):>9s}")
+    gate = report["gate"]
+    if "bit_identical" in gate:
+        lines.append(
+            f"gate: histories identical {gate['bit_identical']}, "
+            f"min speedup at cohort >= {gate['gated_cohort']} "
+            f"{gate['min_gated_speedup']:.2f}x "
+            f"(need {gate['min_speedup_required']:.1f}x) "
+            f"-> {'PASS' if gate['pass'] else 'FAIL'}")
+    else:
+        lines.append(f"gate: FAIL ({gate.get('reason', 'unknown')})")
+    return "\n".join(lines)

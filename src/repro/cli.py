@@ -81,6 +81,8 @@ def _preset_overrides(args: argparse.Namespace) -> dict:
         overrides["task_timeout"] = args.task_timeout
     if getattr(args, "max_retries", None) is not None:
         overrides["max_retries"] = args.max_retries
+    if getattr(args, "batch_cohort", None):
+        overrides["batch_cohort"] = True
     return overrides
 
 
@@ -126,6 +128,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
                         help="retry a failed client task up to N times with "
                              "capped exponential backoff before dropping "
                              "the client from the round (default 0)")
+    parser.add_argument("--batch-cohort", action="store_true", default=None,
+                        help="fuse each round's local updates into one "
+                             "batched tensor program (client axis leading) "
+                             "when the strategy/model pair supports it; "
+                             "bit-identical histories, much less Python "
+                             "overhead on homogeneous cohorts")
     parser.add_argument("--rounds", type=int, default=None)
     parser.add_argument("--clients", type=int, default=None)
     parser.add_argument("--clients-per-round", type=int, default=None)
@@ -314,6 +322,17 @@ def build_parser() -> argparse.ArgumentParser:
                               choices=available_fault_plans(),
                               help="fault plan for the --fault-scale chaos "
                                    "run (default: chaos)")
+    bench_parser.add_argument("--batch-scale", type=float, default=None,
+                              help="run the cohort-batching axis instead: "
+                                   "batched vs per-client-loop wall clock "
+                                   "over a cohort-size ladder (x SCALE) on "
+                                   "the serial and process backends, gating "
+                                   "a >= 2x speedup at cohort >= 16 and "
+                                   "bit-identical histories; written to "
+                                   "--batch-output")
+    bench_parser.add_argument("--batch-output", default="BENCH_batch.json",
+                              help="where to write the cohort-batching JSON "
+                                   "report ('' skips writing)")
 
     sub.add_parser("list", help="list available methods")
     return parser
@@ -332,7 +351,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             ("--fleet-scale", args.fleet_scale),
             ("--checkpoint-scale", args.checkpoint_scale),
             ("--codec-scale", args.codec_scale),
-            ("--fault-scale", args.fault_scale)) if value is not None]
+            ("--fault-scale", args.fault_scale),
+            ("--batch-scale", args.batch_scale)) if value is not None]
         if len(axes) > 1:
             print(f"bench {' and '.join(axes)} are separate axes; run them "
                   "as separate invocations", flush=True)
@@ -341,6 +361,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("bench --fault-plan applies only to the --fault-scale "
                   "axis", flush=True)
             return 2
+        if args.batch_scale is not None:
+            clashes = _fanout_only_clashes(args)
+            if clashes:
+                print(f"bench --batch-scale ignores {', '.join(clashes)} — "
+                      "those apply only to the fan-out bench (the batching "
+                      "axis writes its report to --batch-output)",
+                      flush=True)
+                return 2
+            from .benchmarking import format_batch_report, run_batch_bench
+            report = run_batch_bench(scale=args.batch_scale,
+                                     output=args.batch_output or None)
+            print(format_batch_report(report))
+            if args.batch_output:
+                print(f"# report written to {args.batch_output}")
+            if args.check and not report["gate"]["pass"]:
+                return 1
+            return 0
         if args.fault_scale is not None:
             clashes = _fanout_only_clashes(args)
             if clashes:

@@ -20,6 +20,7 @@ from ..federated.client import Client
 from ..federated.local import train_locally
 from ..federated.strategy import ClientUpdate, Strategy, StrategyContext
 from ..federated.aggregation import aggregate_residuals
+from ..nn.batched import batchable_model
 from ..nn.params import ParamDict, multiply, subtract
 from ..sparsity.masks import UnitPattern, build_parameter_mask
 from ..sparsity.patterns import heuristic_pattern
@@ -27,7 +28,8 @@ from ..systems.cost import CostBreakdown
 from ..systems.devices import affordable_ratio
 from .bandit import PUCBVAgent
 from .importance import ImportanceIndicator, initialize_importance
-from .sparse_training import learnable_sparse_training
+from .sparse_training import (learnable_sparse_training,
+                              learnable_sparse_training_cohort)
 
 RATIO_POLICIES = ("pucbv", "fixed", "capability")
 PATTERN_MODES = ("learnable", "random", "ordered", "magnitude")
@@ -160,6 +162,61 @@ class FedLPS(Strategy):
             train_accuracy=train_accuracy, train_loss=train_loss,
             pattern=pattern, sparse_ratio=ratio, flops=flops,
             upload_bytes=upload, download_bytes=download)
+
+    # ------------------------------------------------------ cohort batching
+    def cohort_batchable(self) -> bool:
+        # only the learnable path has a batched twin; the heuristic pattern
+        # ablations go through train_locally's per-client loop
+        context = self._require_context()
+        return (self.pattern_mode == "learnable"
+                and batchable_model(context.model))
+
+    def local_update_cohort(self, round_index: int,
+                            clients: List[Client]
+                            ) -> Optional[List[ClientUpdate]]:
+        context = self._require_context()
+        config = context.config
+        importances: List[ImportanceIndicator] = []
+        ratios: List[float] = []
+        for client in clients:
+            importance = client.state.get("importance")
+            if importance is None:
+                # same pure-function initialization as the per-client path:
+                # from the broadcast global model and the client's seed only
+                context.model.set_parameters(self.global_params)
+                importance = initialize_importance(
+                    context.model,
+                    seed=config.seed * 104_729 + client.client_id)
+            importances.append(importance)
+            ratios.append(self._effective_ratio(client))
+        results = learnable_sparse_training_cohort(
+            context.model, self.global_params, importances,
+            [client.train_data for client in clients],
+            sparse_ratios=ratios, iterations=config.local_iterations,
+            batch_size=config.batch_size, learning_rate=config.learning_rate,
+            momentum=config.momentum, clip_norm=config.clip_norm,
+            prox_mu=config.prox_mu,
+            importance_lambda=config.importance_lambda,
+            importance_learning_rate=self.importance_learning_rate,
+            rngs=[self._client_rng(round_index, client.client_id)
+                  for client in clients])
+        updates = []
+        for client, ratio, result in zip(clients, ratios, results):
+            state = client.state
+            state["importance"] = result.importance
+            state["personal_params"] = result.personalized_params
+            state["personal_pattern"] = result.pattern
+            state["last_ratio"] = ratio
+            flops, upload, download = self._round_footprint(
+                client, pattern=result.pattern)
+            updates.append(ClientUpdate(
+                client_id=client.client_id, params=result.residual,
+                num_examples=client.num_train_examples,
+                train_accuracy=result.train_accuracy,
+                train_loss=result.train_loss,
+                pattern=result.pattern, sparse_ratio=ratio, flops=flops,
+                upload_bytes=upload, download_bytes=download))
+        return updates
 
     def _heuristic_update(self, round_index: int, client: Client, ratio: float,
                           rng: np.random.Generator

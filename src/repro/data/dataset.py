@@ -153,7 +153,7 @@ class LazyShardMap(MappingABC):
         self.num_clients = num_clients
         self._builder = builder
         self._cache = BoundedLRU(cache_size)
-        self._ids: Optional[List[int]] = None
+        self._ids: Optional[np.ndarray] = None
         self.materializations = 0
         self.materialized_ids: set = set()
 
@@ -190,24 +190,28 @@ class LazyShardMap(MappingABC):
         self._cache.resize(cache_size)
 
     @property
-    def client_ids(self) -> List[int]:
+    def client_ids(self) -> np.ndarray:
         if self._ids is None:
-            self._ids = list(range(self.num_clients))
+            ids = np.arange(self.num_clients, dtype=np.int64)
+            ids.flags.writeable = False
+            self._ids = ids
         return self._ids
 
 
-def mapping_client_ids(clients: Mapping) -> List[int]:
-    """Sorted client ids of any client mapping, cached when the mapping can.
+def mapping_client_ids(clients: Mapping) -> np.ndarray:
+    """Sorted client ids of any client mapping, as a read-only int64 array.
 
-    Lazy mappings return their *shared* cached list (copying a million-id
-    list per selection round would defeat the O(cohort) contract) — callers
-    must treat the result as immutable and copy before sorting/shuffling
-    in place.
+    Lazy mappings return their *shared* cached ``np.arange`` (copying a
+    million-id list per selection round would defeat the O(cohort)
+    contract); plain dicts get a freshly sorted array.  Either way the
+    result is marked read-only — callers must copy before sorting or
+    shuffling in place.
     """
     ids = getattr(clients, "client_ids", None)
-    if ids is not None:
-        return ids
-    return sorted(clients.keys())
+    if ids is None:
+        ids = np.asarray(sorted(clients.keys()), dtype=np.int64)
+        ids.flags.writeable = False
+    return ids
 
 
 @dataclass
@@ -230,7 +234,7 @@ class FederatedDataset:
         return len(self.clients)
 
     @property
-    def client_ids(self) -> List[int]:
+    def client_ids(self) -> np.ndarray:
         return mapping_client_ids(self.clients)
 
     def client(self, client_id: int) -> ClientData:
@@ -244,5 +248,5 @@ class FederatedDataset:
 
     def average_local_accuracy_weights(self) -> Dict[int, float]:
         """Per-client weights proportional to local train size (|D_k|)."""
-        return {cid: float(len(self.clients[cid].train))
+        return {int(cid): float(len(self.clients[cid].train))
                 for cid in self.client_ids}

@@ -68,6 +68,11 @@ class ExperimentPreset:
     #: wall-clock timeout and bounded retries with exponential backoff
     task_timeout: Optional[float] = None
     max_retries: int = 0
+    #: vectorized cohort training (``repro.federated.batched``): fuse a
+    #: round's local updates into one batched tensor program when the
+    #: strategy/model pair supports it.  Bit-identical histories either
+    #: way; cache-keyed like every field.
+    batch_cohort: bool = False
     seed: int = 0
     extra_config: Dict[str, float] = field(default_factory=dict)
 
@@ -157,6 +162,7 @@ def build_experiment(preset: ExperimentPreset
                 if preset.fault_plan is not None else None),
         task_timeout=preset.task_timeout,
         max_retries=preset.max_retries,
+        batch_cohort=preset.batch_cohort,
         fleet=FleetConfig(lazy=preset.lazy_fleet,
                           eval_clients=preset.eval_clients),
         extra=dict(preset.extra_config))

@@ -2,6 +2,7 @@
 
 from .aggregation import (aggregate_residuals, fedavg, masked_average,
                           staleness_weighted_average)
+from .batched import client_batch_schedule, train_cohort_batched
 from .client import Client
 from .config import AGGREGATIONS, FederatedConfig, FleetConfig
 from .evaluation import average_personalized_accuracy, evaluate_params
@@ -24,6 +25,8 @@ __all__ = [
     "FederatedTrainer",
     "run_federated",
     "train_locally",
+    "train_cohort_batched",
+    "client_batch_schedule",
     "iterate_batches",
     "LocalUpdateResult",
     "evaluate_params",

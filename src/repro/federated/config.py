@@ -117,6 +117,13 @@ class FederatedConfig:
     # client-fleet materialization: lazy O(cohort) fleets (default) vs the
     # retained eager path, shard-cache bound, evaluation-sweep cap
     fleet: FleetConfig = field(default_factory=FleetConfig)
+    # vectorized cohort training (``repro.federated.batched``): run a
+    # round's same-architecture local updates as ONE batched tensor program
+    # with the client dimension as the leading axis.  Bit-identical to the
+    # per-client loop when the strategy/model pair supports it (the strategy
+    # advertises via ``cohort_batchable``); unsupported pairs fall back to
+    # the loop.  Off by default so existing histories stay byte-stable.
+    batch_cohort: bool = False
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:

@@ -31,6 +31,8 @@ from __future__ import annotations
 from collections.abc import Mapping as MappingABC
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+import numpy as np
+
 from ..data.dataset import FederatedDataset, mapping_client_ids
 from ..util import BoundedLRU
 from ..systems.devices import DeviceFleet
@@ -134,10 +136,10 @@ class ClientFleet(MappingABC):
         self.state_store = FleetStateStore()
         self._facades = BoundedLRU(cache_size if lazy
                                    else max(cache_size, len(devices)))
-        self._ids: Optional[List[int]] = None
+        self._ids: Optional[np.ndarray] = None
         self.facade_builds = 0
         if not lazy:
-            for cid in self.client_ids:
+            for cid in map(int, self.client_ids):
                 self._facades.put(cid, Client(cid, dataset.client(cid),
                                               devices[cid]))
 
@@ -172,6 +174,7 @@ class ClientFleet(MappingABC):
     def _build_facade(self, client_id: int,
                       state: Dict[str, Any]) -> Client:
         self.facade_builds += 1
+        client_id = int(client_id)  # numpy ids from client_ids arrays
         return Client(client_id, self.dataset.client(client_id),
                       self.devices[client_id], state=state)
 
@@ -264,7 +267,7 @@ class ClientFleet(MappingABC):
         return _ObserverView(self, with_ids=True)
 
     @property
-    def client_ids(self) -> List[int]:
+    def client_ids(self) -> np.ndarray:
         if self._ids is None:
             self._ids = mapping_client_ids(self.dataset.clients)
         return self._ids

@@ -89,6 +89,14 @@ def train_locally(model: Sequential, start_params: Mapping[str, np.ndarray],
         center = copy_params(prox_center if prox_center is not None else start_params)
 
     optimizer = SGD(learning_rate, momentum=momentum, clip_norm=clip_norm)
+    # the frozen-key substitution is step-invariant: resolve the allowed
+    # set and the zero replacements once instead of per SGD step
+    allowed = set(trainable_keys) if trainable_keys is not None else None
+    frozen_zeros: Dict[str, np.ndarray] = {}
+    if allowed is not None:
+        frozen_zeros = {key: np.zeros_like(value)
+                        for key, value in model.get_parameters().items()
+                        if key not in allowed}
     losses = []
     accuracies = []
     examples = 0
@@ -110,9 +118,8 @@ def train_locally(model: Sequential, start_params: Mapping[str, np.ndarray],
                 sum(np.sum((current[key] - center[key]) ** 2) for key in current))
         if param_mask is not None:
             grads = {key: grads[key] * param_mask[key] for key in grads}
-        if trainable_keys is not None:
-            allowed = set(trainable_keys)
-            grads = {key: (value if key in allowed else np.zeros_like(value))
+        if allowed is not None:
+            grads = {key: (value if key in allowed else frozen_zeros[key])
                      for key, value in grads.items()}
         losses.append(loss)
         examples += len(batch_y)

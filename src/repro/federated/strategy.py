@@ -26,7 +26,9 @@ from ..sparsity.accounting import local_round_cost
 from ..sparsity.masks import UnitPattern
 from ..systems.cost import CostBreakdown, LocalCostModel
 from ..systems.devices import DeviceFleet
+from ..nn.batched import batchable_model
 from .aggregation import fedavg
+from .batched import train_cohort_batched
 from .client import Client
 from .config import FederatedConfig
 from .fleet import bind_client_state_initializer
@@ -53,7 +55,8 @@ class StrategyContext:
     rng: np.random.Generator
 
     @property
-    def client_ids(self) -> List[int]:
+    def client_ids(self) -> np.ndarray:
+        """Fleet ids as a cached read-only ``np.arange``-style int64 array."""
         return mapping_client_ids(self.clients)
 
 
@@ -148,6 +151,53 @@ class Strategy:
             num_examples=client.num_train_examples,
             train_accuracy=result.train_accuracy, train_loss=result.train_loss,
             flops=flops, upload_bytes=upload, download_bytes=download)
+
+    # ------------------------------------------------------ cohort batching
+    def cohort_batchable(self) -> bool:
+        """Whether ``local_update_cohort`` reproduces this strategy's
+        per-client ``local_update`` bit-for-bit for a whole cohort.
+
+        The base predicate is conservative: a subclass that overrides
+        ``local_update`` (heterogeneous widths, personalization, custom
+        uploads) automatically falls back to the per-client loop unless it
+        also overrides the cohort hooks, and models containing layers
+        without batched kernels (dropout, embeddings, recurrent cells)
+        always fall back.
+        """
+        context = self._require_context()
+        return (type(self).local_update is Strategy.local_update
+                and batchable_model(context.model))
+
+    def local_update_cohort(self, round_index: int,
+                            clients: List[Client]
+                            ) -> Optional[List[ClientUpdate]]:
+        """Batched twin of ``local_update`` over a homogeneous cohort.
+
+        Returns one :class:`ClientUpdate` per client in input order, or
+        ``None`` to make the caller fall back to the per-client loop.  Only
+        called when :meth:`cohort_batchable` is true.
+        """
+        context = self._require_context()
+        config = context.config
+        results = train_cohort_batched(
+            context.model,
+            [self.global_params] * len(clients),
+            [client.train_data for client in clients],
+            iterations=config.local_iterations, batch_size=config.batch_size,
+            learning_rate=config.learning_rate, momentum=config.momentum,
+            clip_norm=config.clip_norm,
+            rngs=[self._client_rng(round_index, client.client_id)
+                  for client in clients])
+        updates = []
+        for client, result in zip(clients, results):
+            flops, upload, download = self._round_footprint(client, pattern=None)
+            updates.append(ClientUpdate(
+                client_id=client.client_id, params=result.params,
+                num_examples=client.num_train_examples,
+                train_accuracy=result.train_accuracy,
+                train_loss=result.train_loss,
+                flops=flops, upload_bytes=upload, download_bytes=download))
+        return updates
 
     # ----------------------------------------------------------- aggregation
     def aggregate(self, round_index: int, updates: List[ClientUpdate]) -> None:

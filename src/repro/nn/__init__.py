@@ -8,12 +8,16 @@ FedLPS's learnable sparsification builds on.
 
 from .activations import Dropout, Flatten, ReLU, Sigmoid, Tanh, sigmoid, softmax
 from .base import Layer
+from .batched import (BatchedModel, batchable_model, stack_param_dicts,
+                      unstack_param_dict)
 from .conv import AvgPool2d, Conv2d, MaxPool2d
 from .dense import Dense
 from .embedding import Embedding
-from .losses import accuracy, mean_squared_error, softmax_cross_entropy
+from .losses import (accuracy, accuracy_cohort, mean_squared_error,
+                     softmax_cross_entropy, softmax_cross_entropy_cohort)
 from .model import Sequential, UnitGroup
-from .optim import SGD, clip_gradients, global_grad_norm
+from .optim import (SGD, BatchedSGD, clip_gradients, clip_gradients_cohort,
+                    cohort_grad_norms, global_grad_norm)
 from .recurrent import LSTM, RNN, LastTimestep
 from .serialization import (load_parameters, nonzero_parameter_bytes,
                             parameter_bytes, save_parameters)
@@ -37,13 +41,22 @@ __all__ = [
     "Sequential",
     "UnitGroup",
     "SGD",
+    "BatchedSGD",
+    "BatchedModel",
+    "batchable_model",
+    "stack_param_dicts",
+    "unstack_param_dict",
     "clip_gradients",
+    "clip_gradients_cohort",
+    "cohort_grad_norms",
     "global_grad_norm",
     "softmax",
     "sigmoid",
     "softmax_cross_entropy",
+    "softmax_cross_entropy_cohort",
     "mean_squared_error",
     "accuracy",
+    "accuracy_cohort",
     "save_parameters",
     "load_parameters",
     "parameter_bytes",

@@ -1,0 +1,518 @@
+"""Batched (cohort-axis) kernels: run a whole cohort as one tensor program.
+
+Vectorized cohort training stacks the same-architecture models of ``C``
+cohort clients along a leading client axis, so each training step runs one
+batched ``(C, N, K) @ (C, K, M)`` matmul per layer instead of ``C`` small
+2-D ones.  Per-client unit-gate patterns become multiplicative gates of
+shape ``(C, n_units)`` broadcast along the client axis, and per-client
+mask/learning-rate/prox terms broadcast the same way.
+
+Bit-identity contract
+---------------------
+The batched kernels are written so every per-client slice reproduces the
+sequential :mod:`repro.nn` layers bit-for-bit:
+
+* batched matmuls are slice-identical to their 2-D counterparts (each
+  output row is an independent dot product; verified on the stacked,
+  transposed and padded operand layouts used here);
+* single-axis reductions (``axis=1`` of a ``(C, B, U)`` stack) are
+  slice-identical to ``axis=0`` of the ``(B, U)`` slice;
+* multi-axis reductions are NOT assumed slice-identical — the conv gate
+  gradient therefore reduces per-client slices in a short Python loop,
+  reproducing the sequential computation on identical shapes;
+* ragged cohorts (clients with fewer examples than the padded batch) are
+  NOT fed through the batched matmuls: GEMM results depend on the row
+  count (edge micro-kernels regroup the k accumulation), so with
+  ``batch_counts`` installed every matmul and ``np.sum`` reduction runs
+  the sequential 2-D computation on each client's leading ``counts[c]``
+  real rows (padded rows sit in a trailing block and stay exactly zero
+  through forward and backward).
+
+The equivalence suite in ``tests/federated/test_batched.py`` pins this
+contract against the per-client loop across masks, patterns, prox, momentum,
+clipping and ragged shard sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .activations import Flatten, ReLU, Sigmoid, Tanh
+from .base import Array, Layer
+from .conv import AvgPool2d, Conv2d, MaxPool2d, _col2im, _im2col
+from .dense import Dense
+from .model import Sequential, UnitGroup
+from .params import ParamDict
+
+#: layer types with a batched kernel (exact types: a subclass may override
+#: semantics the batched kernels do not reproduce)
+_STACKED_TYPES = (Dense, Conv2d)
+_FOLDED_TYPES = (MaxPool2d, AvgPool2d)
+_ELEMENTWISE_TYPES = (ReLU, Tanh, Sigmoid)
+
+
+def batchable_model(model: Sequential) -> bool:
+    """True when every layer of ``model`` has a batched kernel.
+
+    Dropout (its own sequential RNG stream), embeddings and recurrent layers
+    have no batched counterpart — models containing them fall back to the
+    per-client loop.
+    """
+    layers = getattr(model, "layers", None)
+    if not layers:
+        return False
+    supported = _STACKED_TYPES + _FOLDED_TYPES + _ELEMENTWISE_TYPES + (Flatten,)
+    return all(type(layer) in supported for layer in layers)
+
+
+def stack_param_dicts(param_dicts: Sequence[Mapping[str, np.ndarray]]) -> ParamDict:
+    """Stack per-client parameter dictionaries along a new leading axis."""
+    if not param_dicts:
+        raise ValueError("cannot stack an empty cohort")
+    first = param_dicts[0]
+    return {key: np.stack([np.asarray(params[key], dtype=np.float64)
+                           for params in param_dicts])
+            for key in first}
+
+
+def unstack_param_dict(stacked: Mapping[str, np.ndarray], index: int) -> ParamDict:
+    """Extract client ``index``'s parameter dictionary from a stacked one."""
+    return {key: np.array(value[index], copy=True)
+            for key, value in stacked.items()}
+
+
+class _BatchedLayer:
+    """Common state for layers carrying stacked ``(C, ...)`` parameters."""
+
+    trainable = True
+    sparsifiable = False
+
+    def __init__(self, template: Layer, cohort: int) -> None:
+        self.name = template.name
+        self.cohort = cohort
+        self.params: ParamDict = {
+            key: np.repeat(value[None], cohort, axis=0)
+            for key, value in template.params.items()}
+        self.grads: ParamDict = {}
+        self.unit_gate: Optional[Array] = None
+        self.unit_gate_grad: Optional[Array] = None
+        #: per-client real-row counts when the padded batch is ragged;
+        #: ``None`` selects the fully batched reductions
+        self.batch_counts: Optional[np.ndarray] = None
+        self.zero_grad()
+
+    @property
+    def n_units(self) -> int:
+        return 0
+
+    def zero_grad(self) -> None:
+        for key, value in self.params.items():
+            self.grads[key] = np.zeros_like(value)
+        if self.sparsifiable and self.n_units > 0:
+            self.unit_gate_grad = np.zeros((self.cohort, self.n_units),
+                                           dtype=np.float64)
+
+    def set_unit_gate(self, gate: Optional[Array]) -> None:
+        if gate is None:
+            self.unit_gate = None
+            return
+        gate = np.asarray(gate, dtype=np.float64)
+        if gate.shape != (self.cohort, self.n_units):
+            raise ValueError(
+                f"batched layer {self.name!r} expects a gate of shape "
+                f"({self.cohort}, {self.n_units}), got {gate.shape}")
+        self.unit_gate = gate
+
+    def forward(self, x: Array, *, train: bool = True) -> Array:
+        raise NotImplementedError
+
+    def backward(self, grad_out: Array) -> Array:
+        raise NotImplementedError
+
+
+class BatchedDense(_BatchedLayer):
+    """``C`` affine layers as one ``(C, B, in) @ (C, in, out)`` matmul."""
+
+    def __init__(self, template: Dense, cohort: int) -> None:
+        self.in_features = template.in_features
+        self.out_features = template.out_features
+        self.sparsifiable = template.sparsifiable
+        super().__init__(template, cohort)
+        self._x: Optional[Array] = None
+        self._pre_gate: Optional[Array] = None
+
+    @property
+    def n_units(self) -> int:
+        return self.out_features if self.sparsifiable else 0
+
+    def unit_weight_magnitude(self, index: int) -> Array:
+        """Client ``index``'s per-unit ``|omega|_J`` — the sequential
+        computation on the client's contiguous parameter slice."""
+        return (np.sum(np.abs(self.params["W"][index]), axis=0)
+                + np.abs(self.params["b"][index]))
+
+    def forward(self, x: Array, *, train: bool = True) -> Array:
+        if x.ndim != 3 or x.shape[0] != self.cohort or x.shape[2] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected input of shape "
+                f"({self.cohort}, B, {self.in_features}), got {x.shape}")
+        self._x = x
+        if self.batch_counts is None:
+            self._pre_gate = np.matmul(x, self.params["W"]) \
+                + self.params["b"][:, None, :]
+        else:
+            # GEMM row results are not independent of the row count (edge
+            # micro-kernels regroup the k accumulation), so ragged batches
+            # run the sequential 2-D matmul on each client's real rows;
+            # padded rows stay exactly zero
+            self._pre_gate = np.zeros(x.shape[:2] + (self.out_features,))
+            for i, count in enumerate(self.batch_counts):
+                self._pre_gate[i, :count] = \
+                    x[i, :count] @ self.params["W"][i] + self.params["b"][i]
+        if self.unit_gate is None:
+            return self._pre_gate
+        return self._pre_gate * self.unit_gate[:, None, :]
+
+    def backward(self, grad_out: Array) -> Array:
+        if self._x is None or self._pre_gate is None:
+            raise RuntimeError("backward called before forward")
+        grad_pre = grad_out
+        if self.unit_gate is not None:
+            if self.batch_counts is None:
+                self.unit_gate_grad += np.sum(grad_out * self._pre_gate, axis=1)
+            else:
+                for i, count in enumerate(self.batch_counts):
+                    self.unit_gate_grad[i] += np.sum(
+                        grad_out[i, :count] * self._pre_gate[i, :count], axis=0)
+            grad_pre = grad_out * self.unit_gate[:, None, :]
+        if self.batch_counts is None:
+            self.grads["W"] += np.matmul(self._x.transpose(0, 2, 1), grad_pre)
+            self.grads["b"] += np.sum(grad_pre, axis=1)
+            return np.matmul(grad_pre, self.params["W"].transpose(0, 2, 1))
+        grad_x = np.zeros_like(self._x)
+        for i, count in enumerate(self.batch_counts):
+            self.grads["W"][i] += self._x[i, :count].T @ grad_pre[i, :count]
+            self.grads["b"][i] += np.sum(grad_pre[i, :count], axis=0)
+            grad_x[i, :count] = grad_pre[i, :count] @ self.params["W"][i].T
+        return grad_x
+
+
+class BatchedConv2d(_BatchedLayer):
+    """``C`` convolutions as one matmul over the cohort's im2col patches."""
+
+    def __init__(self, template: Conv2d, cohort: int) -> None:
+        self.in_channels = template.in_channels
+        self.out_channels = template.out_channels
+        self.kernel_size = template.kernel_size
+        self.stride = template.stride
+        self.padding = template.padding
+        self.sparsifiable = template.sparsifiable
+        super().__init__(template, cohort)
+        self._cols3: Optional[Array] = None
+        self._x_shape: Optional[Tuple[int, ...]] = None
+        self._out_hw: Optional[Tuple[int, int]] = None
+        self._pre_gate: Optional[Array] = None
+
+    @property
+    def n_units(self) -> int:
+        return self.out_channels if self.sparsifiable else 0
+
+    def _weight_matrix(self) -> Array:
+        return self.params["W"].reshape(self.cohort, self.out_channels, -1)
+
+    def unit_weight_magnitude(self, index: int) -> Array:
+        """Client ``index``'s per-unit ``|omega|_J`` — the sequential
+        computation on the client's contiguous parameter slice."""
+        return (np.sum(np.abs(self.params["W"][index]), axis=(1, 2, 3))
+                + np.abs(self.params["b"][index]))
+
+    def forward(self, x: Array, *, train: bool = True) -> Array:
+        if x.ndim != 5 or x.shape[0] != self.cohort or x.shape[2] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected input "
+                f"({self.cohort}, B, {self.in_channels}, H, W), got {x.shape}")
+        cohort, batch = x.shape[:2]
+        folded = np.ascontiguousarray(x).reshape((cohort * batch,) + x.shape[2:])
+        cols, out_h, out_w = _im2col(folded, self.kernel_size, self.stride,
+                                     self.padding)
+        cols3 = cols.reshape(cohort, batch * out_h * out_w, -1)
+        w_mat = self._weight_matrix()
+        if self.batch_counts is None:
+            out = np.matmul(cols3, w_mat.transpose(0, 2, 1)) \
+                + self.params["b"][:, None, :]
+        else:
+            # sequential 2-D matmul per client on the real rows (see
+            # BatchedDense.forward); padded rows stay exactly zero
+            positions = out_h * out_w
+            out = np.zeros((cohort, batch * positions, self.out_channels))
+            for i, count in enumerate(self.batch_counts):
+                rows = count * positions
+                out[i, :rows] = cols3[i, :rows] @ w_mat[i].T + self.params["b"][i]
+        out = out.reshape(cohort, batch, out_h, out_w, self.out_channels)
+        out = out.transpose(0, 1, 4, 2, 3)
+        self._cols3 = cols3
+        self._x_shape = x.shape
+        self._out_hw = (out_h, out_w)
+        self._pre_gate = out
+        if self.unit_gate is None:
+            return out
+        return out * self.unit_gate[:, None, :, None, None]
+
+    def backward(self, grad_out: Array) -> Array:
+        if self._cols3 is None or self._x_shape is None or self._out_hw is None:
+            raise RuntimeError("backward called before forward")
+        cohort, batch = self._x_shape[:2]
+        out_h, out_w = self._out_hw
+        grad_pre = grad_out
+        if self.unit_gate is not None:
+            # multi-axis reductions are not in the verified slice-identical
+            # class, so the gate gradient reduces per-client slices exactly
+            # as the sequential layer does
+            for i in range(cohort):
+                count = None if self.batch_counts is None else self.batch_counts[i]
+                g_slice = grad_out[i] if count is None else grad_out[i, :count]
+                p_slice = (self._pre_gate[i] if count is None
+                           else self._pre_gate[i, :count])
+                self.unit_gate_grad[i] += np.sum(g_slice * p_slice, axis=(0, 2, 3))
+            grad_pre = grad_out * self.unit_gate[:, None, :, None, None]
+        grad_mat = grad_pre.transpose(0, 1, 3, 4, 2).reshape(
+            cohort, batch * out_h * out_w, self.out_channels)
+        if self.batch_counts is None:
+            self.grads["W"] += np.matmul(
+                grad_mat.transpose(0, 2, 1), self._cols3).reshape(
+                    self.params["W"].shape)
+            self.grads["b"] += np.sum(grad_mat, axis=1)
+            grad_cols = np.matmul(grad_mat, self._weight_matrix())
+        else:
+            # like BatchedDense.backward: the sequential 2-D matmuls per
+            # client on the leading real rows; padded rows stay exactly zero
+            positions = out_h * out_w
+            kernel_shape = self.params["W"].shape[1:]
+            w_mat = self._weight_matrix()
+            grad_cols = np.zeros_like(self._cols3)
+            for i, count in enumerate(self.batch_counts):
+                rows = count * positions
+                self.grads["W"][i] += (
+                    grad_mat[i, :rows].T @ self._cols3[i, :rows]
+                ).reshape(kernel_shape)
+                self.grads["b"][i] += np.sum(grad_mat[i, :rows], axis=0)
+                grad_cols[i, :rows] = grad_mat[i, :rows] @ w_mat[i]
+        folded_shape = (cohort * batch,) + self._x_shape[2:]
+        grad_x = _col2im(grad_cols.reshape(cohort * batch * out_h * out_w, -1),
+                         folded_shape, self.kernel_size, self.stride,
+                         self.padding, out_h, out_w)
+        return grad_x.reshape(self._x_shape)
+
+
+class _FoldedLayer:
+    """Run a per-sample layer on ``(C * B, ...)`` by folding the client axis.
+
+    Pooling is sample-local, so folding the cohort into the batch axis
+    reproduces the sequential layer bit-for-bit by construction — the inner
+    layer IS the sequential implementation.
+    """
+
+    trainable = False
+    sparsifiable = False
+    n_units = 0
+
+    def __init__(self, inner: Layer) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.params: ParamDict = {}
+        self.grads: ParamDict = {}
+        self.batch_counts = None
+        self._lead: Optional[Tuple[int, int]] = None
+
+    def zero_grad(self) -> None:
+        pass
+
+    def forward(self, x: Array, *, train: bool = True) -> Array:
+        self._lead = x.shape[:2]
+        folded = np.ascontiguousarray(x).reshape(
+            (x.shape[0] * x.shape[1],) + x.shape[2:])
+        out = self.inner.forward(folded, train=train)
+        return out.reshape(self._lead + out.shape[1:])
+
+    def backward(self, grad_out: Array) -> Array:
+        if self._lead is None:
+            raise RuntimeError("backward called before forward")
+        folded = np.ascontiguousarray(grad_out).reshape(
+            (grad_out.shape[0] * grad_out.shape[1],) + grad_out.shape[2:])
+        out = self.inner.backward(folded)
+        return out.reshape(self._lead + out.shape[1:])
+
+
+class _BatchedFlatten:
+    """Flatten everything after the ``(C, B)`` leading axes."""
+
+    trainable = False
+    sparsifiable = False
+    n_units = 0
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.params: ParamDict = {}
+        self.grads: ParamDict = {}
+        self.batch_counts = None
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def zero_grad(self) -> None:
+        pass
+
+    def forward(self, x: Array, *, train: bool = True) -> Array:
+        self._input_shape = x.shape
+        return np.ascontiguousarray(x).reshape(x.shape[0], x.shape[1], -1)
+
+    def backward(self, grad_out: Array) -> Array:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out.reshape(self._input_shape)
+
+
+def _batch_layer(layer: Layer, cohort: int):
+    if type(layer) is Dense:
+        return BatchedDense(layer, cohort)
+    if type(layer) is Conv2d:
+        return BatchedConv2d(layer, cohort)
+    if type(layer) is MaxPool2d:
+        return _FoldedLayer(MaxPool2d(layer.kernel_size, layer.name))
+    if type(layer) is AvgPool2d:
+        return _FoldedLayer(AvgPool2d(layer.kernel_size, layer.name))
+    if type(layer) is Flatten:
+        return _BatchedFlatten(layer.name)
+    if type(layer) in _ELEMENTWISE_TYPES:
+        # element-wise layers are shape-agnostic: reuse the sequential
+        # implementation directly on the (C, B, ...) stack
+        return type(layer)(layer.name)
+    raise ValueError(
+        f"layer {layer.name!r} ({type(layer).__name__}) has no batched kernel")
+
+
+class BatchedModel:
+    """A cohort of ``C`` same-architecture models as one stacked program.
+
+    Built from a :class:`~repro.nn.model.Sequential` template; parameters,
+    gradients, unit gates and gate gradients all carry a leading client
+    axis.  The layer/parameter layout (keys ``"layer.param"``, unit groups)
+    mirrors the template so per-client slices drop straight into the
+    sequential code paths.
+    """
+
+    def __init__(self, template: Sequential, cohort: int) -> None:
+        if cohort <= 0:
+            raise ValueError("cohort size must be positive")
+        if not batchable_model(template):
+            raise ValueError(
+                f"model {template.name!r} contains layers without batched "
+                f"kernels; use batchable_model() to pre-check")
+        self.template = template
+        self.cohort = cohort
+        self.layers = [_batch_layer(layer, cohort) for layer in template.layers]
+        self._unit_groups: List[UnitGroup] = template.unit_groups
+
+    # ------------------------------------------------------------- forward
+    def forward(self, x: Array, *, train: bool = True) -> Array:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, train=train)
+        return out
+
+    def backward(self, grad_out: Array) -> Array:
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    # ---------------------------------------------------------- parameters
+    def set_parameters(self, stacked: Mapping[str, np.ndarray]) -> None:
+        """Load a stacked ``(C, ...)`` parameter snapshot."""
+        for layer in self.layers:
+            for key in layer.params:
+                full_key = f"{layer.name}.{key}"
+                if full_key not in stacked:
+                    raise KeyError(f"missing parameter {full_key!r}")
+                value = np.asarray(stacked[full_key], dtype=np.float64)
+                if value.shape != layer.params[key].shape:
+                    raise ValueError(
+                        f"shape mismatch for {full_key!r}: "
+                        f"{value.shape} vs {layer.params[key].shape}")
+                layer.params[key] = np.array(value, copy=True)
+
+    def get_parameters(self) -> ParamDict:
+        snapshot: ParamDict = {}
+        for layer in self.layers:
+            for key, value in layer.params.items():
+                snapshot[f"{layer.name}.{key}"] = np.array(value, copy=True)
+        return snapshot
+
+    def get_gradients(self) -> ParamDict:
+        grads: ParamDict = {}
+        for layer in self.layers:
+            for key, value in layer.grads.items():
+                grads[f"{layer.name}.{key}"] = np.array(value, copy=True)
+        return grads
+
+    def live_parameters(self) -> Dict[str, np.ndarray]:
+        """The live stacked parameter arrays (no copies) for in-place SGD."""
+        live: Dict[str, np.ndarray] = {}
+        for layer in self.layers:
+            for key in layer.params:
+                live[f"{layer.name}.{key}"] = layer.params[key]
+        return live
+
+    # --------------------------------------------------------------- units
+    @property
+    def unit_groups(self) -> List[UnitGroup]:
+        return list(self._unit_groups)
+
+    def layer_by_name(self, name: str):
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no layer named {name!r}")
+
+    def set_unit_gates(self, gates: Optional[Mapping[str, np.ndarray]]) -> None:
+        """Install per-client ``(C, n_units)`` gates; ``None`` clears them."""
+        for group in self._unit_groups:
+            layer = self.layer_by_name(group.layer_name)
+            layer.set_unit_gate(
+                None if gates is None else gates.get(group.layer_name))
+
+    def gate_gradients(self) -> Dict[str, np.ndarray]:
+        """Stacked ``(C, n_units)`` gate gradients per sparsifiable layer."""
+        grads: Dict[str, np.ndarray] = {}
+        for group in self._unit_groups:
+            layer = self.layer_by_name(group.layer_name)
+            grad = layer.unit_gate_grad
+            grads[group.layer_name] = (
+                np.zeros((self.cohort, group.n_units)) if grad is None
+                else np.array(grad, copy=True))
+        return grads
+
+    def unit_weight_magnitudes(self, index: int) -> Dict[str, np.ndarray]:
+        """Client ``index``'s per-unit magnitudes, keyed like the template's
+        ``unit_weight_magnitudes`` (one entry per sparsifiable layer)."""
+        return {group.layer_name:
+                self.layer_by_name(group.layer_name).unit_weight_magnitude(index)
+                for group in self._unit_groups}
+
+    # ------------------------------------------------------------- ragged
+    def set_batch_counts(self, counts: Optional[Sequence[int]]) -> None:
+        """Install per-client real-row counts for ragged padded batches.
+
+        ``None`` (or counts all equal to the padded batch size) selects the
+        fully batched reductions; otherwise ``np.sum``-based reductions only
+        run over each client's leading ``counts[c]`` rows so the summation
+        trees match the sequential loop exactly.
+        """
+        if counts is not None:
+            counts = np.asarray(counts, dtype=np.int64)
+        for layer in self.layers:
+            layer.batch_counts = counts

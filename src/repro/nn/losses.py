@@ -35,6 +35,53 @@ def softmax_cross_entropy(logits: Array, labels: Array) -> Tuple[float, Array]:
     return float(loss), grad.reshape(logits.shape)
 
 
+def softmax_cross_entropy_cohort(logits: Array, labels: Array,
+                                 counts: Array) -> Tuple[np.ndarray, Array]:
+    """Per-client softmax cross-entropy over a stacked ``(C, B, K)`` cohort.
+
+    ``labels`` is ``(C, B)`` integer class ids and ``counts`` gives each
+    client's number of real rows (padded rows beyond ``counts[c]`` must hold
+    in-range dummy labels).  Returns ``(losses, grad)`` where ``losses`` is a
+    ``(C,)`` vector and ``grad`` has the shape of ``logits`` with padded rows
+    zeroed — every per-client slice is bit-identical to
+    :func:`softmax_cross_entropy` on that client's real rows alone: the
+    softmax/log/pick operations are row-local, the per-client mean reduces a
+    contiguous slice with the same summation tree, and the gradient division
+    by ``counts[c]`` is the same IEEE operation as the sequential ``/= n``.
+    """
+    logits = as_float(logits)
+    labels = np.asarray(labels)
+    counts = np.asarray(counts)
+    if logits.ndim != 3 or labels.shape != logits.shape[:2]:
+        raise ValueError(
+            f"cohort logits/labels mismatch: {logits.shape} vs {labels.shape}")
+    cohort, batch, _ = logits.shape
+    probs = softmax(logits, axis=-1)
+    eps = 1e-12
+    client_index = np.arange(cohort)[:, None]
+    row_index = np.arange(batch)[None, :]
+    logs = np.log(probs[client_index, row_index, labels] + eps)
+    losses = np.empty(cohort, dtype=np.float64)
+    for i in range(cohort):
+        losses[i] = -np.mean(logs[i, :counts[i]])
+    grad = probs.copy()
+    grad[client_index, row_index, labels] -= 1.0
+    grad /= counts.astype(np.float64)[:, None, None]
+    for i in range(cohort):
+        grad[i, counts[i]:] = 0.0
+    return losses, grad
+
+
+def accuracy_cohort(logits: Array, labels: Array, counts: Array) -> np.ndarray:
+    """Per-client top-1 accuracy for stacked ``(C, B, K)`` cohort logits."""
+    logits = as_float(logits)
+    labels = np.asarray(labels)
+    counts = np.asarray(counts)
+    hits = np.argmax(logits, axis=-1) == labels
+    return np.array([float(np.mean(hits[i, :counts[i]]))
+                     for i in range(len(counts))])
+
+
 def mean_squared_error(predictions: Array, targets: Array) -> Tuple[float, Array]:
     """Mean squared error averaged over every element."""
     predictions = as_float(predictions)

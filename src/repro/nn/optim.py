@@ -28,6 +28,49 @@ def clip_gradients(grads: ParamDict, max_norm: float) -> ParamDict:
     return {key: grad * scale for key, grad in grads.items()}
 
 
+def cohort_grad_norms(grads: ParamDict) -> np.ndarray:
+    """Per-client L2 norms of a stacked ``(C, ...)`` gradient dictionary.
+
+    Each norm reproduces :func:`global_grad_norm` on that client's slice
+    bit-for-bit: the accumulation runs over keys in dictionary order as
+    Python floats, and each per-key sum reduces the client's contiguous
+    slice with the same tree as the sequential full-array ``np.sum``.
+    """
+    first = next(iter(grads.values()))
+    cohort = first.shape[0]
+    totals = [0.0] * cohort
+    for grad in grads.values():
+        squared = (grad ** 2).reshape(cohort, -1)
+        for index in range(cohort):
+            totals[index] += float(np.sum(squared[index]))
+    return np.sqrt(np.asarray(totals))
+
+
+def clip_gradients_cohort(grads: ParamDict, max_norm: float) -> ParamDict:
+    """Per-client global-norm clipping on stacked ``(C, ...)`` gradients.
+
+    Unclipped clients keep an exact scale of ``1.0`` — ``x * 1.0`` is a
+    bitwise identity for every float (including ``-0.0``/inf/nan) — and the
+    dictionary is returned unchanged when no client clips, matching
+    :func:`clip_gradients` exactly per slice.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    norms = cohort_grad_norms(grads)
+    scales: Optional[np.ndarray] = None
+    for index, norm in enumerate(norms):
+        norm = float(norm)
+        if norm <= max_norm or norm == 0.0:
+            continue
+        if scales is None:
+            scales = np.ones(len(norms), dtype=np.float64)
+        scales[index] = max_norm / norm
+    if scales is None:
+        return grads
+    return {key: grad * scales.reshape((len(norms),) + (1,) * (grad.ndim - 1))
+            for key, grad in grads.items()}
+
+
 class SGD:
     """Stochastic gradient descent with optional momentum, weight decay and
     global-norm gradient clipping.
@@ -72,6 +115,69 @@ class SGD:
             else:
                 update = grad
             param -= self.lr * update
+
+    def reset_state(self) -> None:
+        """Drop momentum buffers (used when a fresh local round starts)."""
+        self._velocity = {}
+
+
+class BatchedSGD:
+    """SGD over stacked ``(C, ...)`` cohort parameters.
+
+    Mirrors :class:`SGD` exactly per client slice: clipping is per-client
+    (:func:`clip_gradients_cohort`), momentum buffers are stacked, and the
+    update order (clip -> weight decay -> momentum -> ``param -= lr *
+    update``) is element-wise identical to the sequential optimizer.  The
+    learning rate may be a scalar (shared) or a ``(C,)`` vector broadcast
+    along the client axis.
+    """
+
+    def __init__(self, lr, *, momentum: float = 0.0,
+                 weight_decay: float = 0.0,
+                 clip_norm: Optional[float] = None) -> None:
+        if isinstance(lr, np.ndarray):
+            lr = np.asarray(lr, dtype=np.float64)
+            if lr.ndim != 1 or np.any(lr <= 0):
+                raise ValueError("per-client learning rates must be a "
+                                 "positive 1-D vector")
+        elif lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.clip_norm = clip_norm
+        self._velocity: ParamDict = {}
+
+    def _scaled(self, update: np.ndarray) -> np.ndarray:
+        if isinstance(self.lr, np.ndarray):
+            return self.lr.reshape(
+                (update.shape[0],) + (1,) * (update.ndim - 1)) * update
+        return self.lr * update
+
+    def step(self, params: ParamDict, grads: ParamDict) -> None:
+        """Update stacked ``params`` in place from stacked ``grads``."""
+        if self.clip_norm is not None:
+            grads = clip_gradients_cohort(grads, self.clip_norm)
+        for key, param in params.items():
+            grad = grads.get(key)
+            if grad is None:
+                continue
+            if self.weight_decay > 0.0:
+                grad = grad + self.weight_decay * param
+            if self.momentum > 0.0:
+                velocity = self._velocity.get(key)
+                if velocity is None:
+                    velocity = np.zeros_like(param)
+                velocity = self.momentum * velocity + grad
+                self._velocity[key] = velocity
+                update = velocity
+            else:
+                update = grad
+            param -= self._scaled(update)
 
     def reset_state(self) -> None:
         """Drop momentum buffers (used when a fresh local round starts)."""

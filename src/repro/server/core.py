@@ -84,7 +84,7 @@ def dataset_to_blocks(dataset: FederatedDataset
                                   "metadata": dict(dataset.metadata)}}
         return dict(dataset.transport_blocks()), skeleton
     blocks: Dict[str, np.ndarray] = {}
-    for client_id in dataset.client_ids:
+    for client_id in map(int, dataset.client_ids):
         shard = dataset.clients[client_id]
         blocks[f"{_DATASET_BLOCK_PREFIX}/{client_id}/train/x"] = shard.train.x
         blocks[f"{_DATASET_BLOCK_PREFIX}/{client_id}/train/y"] = shard.train.y
@@ -96,7 +96,7 @@ def dataset_to_blocks(dataset: FederatedDataset
         "num_classes": dataset.num_classes,
         "input_shape": tuple(dataset.input_shape),
         "metadata": dict(dataset.metadata),
-        "client_ids": list(dataset.client_ids),
+        "client_ids": [int(cid) for cid in dataset.client_ids],
     }
     return blocks, skeleton
 
@@ -244,6 +244,69 @@ def _broadcast_local_update_task(
     if config.codec != "dense":
         update.params = resolve_codec(config.codec).encode(update.params)
     return update, client.state
+
+
+def _bind_broadcast_cohort(session_handle: BroadcastHandle,
+                           round_handle: BroadcastHandle,
+                           client_ids: Tuple[int, ...],
+                           states: Tuple[Optional[Dict], ...]
+                           ) -> Tuple[Strategy, List[Client]]:
+    """Rebuild a strategy + the whole cohort from broadcast handles.
+
+    The cohort twin of :func:`_bind_broadcast_client`: one worker hosts
+    every selected client so the strategy can fuse their local updates into
+    a single batched tensor program.  State handling is identical — stored
+    states ride the payload, ``None`` marks first-time participants whose
+    (pure per client) ``init_client_state`` runs worker-side.
+    """
+    model, dataset, fleet, config, cost_model = \
+        materialized_session(session_handle)
+    global_params, (template, rng) = materialize(round_handle)
+    clients: Dict[int, Client] = {}
+    for client_id, state in zip(client_ids, states):
+        clients[client_id] = Client(
+            client_id, dataset.client(client_id), fleet[client_id],
+            state={} if state is None else state)
+    strategy = copy.copy(template)
+    strategy.global_params = global_params
+    strategy.context = StrategyContext(
+        model=model, clients=clients, dataset=dataset,
+        fleet=fleet, config=config, cost_model=cost_model, rng=rng)
+    for client_id, state in zip(client_ids, states):
+        if state is None:
+            strategy.init_client_state(clients[client_id])
+    return strategy, [clients[client_id] for client_id in client_ids]
+
+
+def _broadcast_cohort_update_task(
+        payload: Tuple[BroadcastHandle, BroadcastHandle, int,
+                       Tuple[int, ...], Tuple[Optional[Dict], ...]]
+        ) -> List[Tuple[ClientUpdate, Dict]]:
+    """Run a whole cohort's local updates as one batched task.
+
+    Dispatched instead of per-client :func:`_broadcast_local_update_task`
+    payloads when cohort batching is engaged.  The strategy may still
+    decline at run time (``local_update_cohort`` returning ``None``), in
+    which case the worker falls back to the per-client loop in-task —
+    either way the result list matches the per-client dispatch, update by
+    update and state by state.
+    """
+    session_handle, round_handle, round_index, client_ids, states = payload
+    strategy, clients = _bind_broadcast_cohort(session_handle, round_handle,
+                                               client_ids, states)
+    updates = None
+    if strategy.cohort_batchable():
+        updates = strategy.local_update_cohort(round_index, clients)
+    if updates is None:
+        updates = [strategy.local_update(round_index, client)
+                   for client in clients]
+    config = strategy.context.config
+    if config.codec != "dense":
+        codec = resolve_codec(config.codec)
+        for update in updates:
+            update.params = codec.encode(update.params)
+    return [(update, client.state)
+            for update, client in zip(updates, clients)]
 
 
 def _broadcast_evaluation_task(
@@ -537,6 +600,18 @@ class ServerCore:
                                    dataset=slim_dataset)
         return strategy
 
+    def _cohort_batching(self, selected: List[int]) -> bool:
+        """Whether this fan-out runs as one batched cohort program.
+
+        Requires the config opt-in, a cohort worth batching, no supervision
+        (retry/fault bookkeeping is per client task) and a strategy/model
+        pair whose batched path is bit-identical to the loop
+        (``Strategy.cohort_batchable``).
+        """
+        return (self.config.batch_cohort and len(selected) > 1
+                and not self.supervised
+                and self.strategy.cohort_batchable())
+
     def run_local_updates(self, round_index: int, selected: List[int], *,
                           ordered: bool = True) -> List[ClientUpdate]:
         """Run the selected clients' local updates, fanning out if possible.
@@ -574,9 +649,14 @@ class ServerCore:
                 updates = [update for update in report.results
                            if update is not None]
             else:
-                updates = [self.strategy.local_update(round_index,
-                                                      self.clients[cid])
-                           for cid in selected]
+                updates = None
+                if self._cohort_batching(selected):
+                    updates = self.strategy.local_update_cohort(
+                        round_index, [self.clients[cid] for cid in selected])
+                if updates is None:
+                    updates = [self.strategy.local_update(round_index,
+                                                          self.clients[cid])
+                               for cid in selected]
         else:
             if self._broadcast_enabled():
                 session = self._session_handle()
@@ -587,13 +667,24 @@ class ServerCore:
                     # itself), so dispatch materializes nothing server-side —
                     # the worker is the only place the cohort's shards are
                     # built
-                    payloads = [(session, broadcast.handle, round_index, cid,
-                                 self.clients.peek_state(cid))
-                                for cid in selected]
-                    results = self._dispatch(_broadcast_local_update_task,
-                                             selected, payloads,
-                                             round_index=round_index,
-                                             ordered=ordered)
+                    if self._cohort_batching(selected):
+                        # one task hosts the whole cohort: the worker fuses
+                        # the local updates into a single batched tensor
+                        # program (or falls back to the loop in-task)
+                        payload = (session, broadcast.handle, round_index,
+                                   tuple(int(cid) for cid in selected),
+                                   tuple(self.clients.peek_state(cid)
+                                         for cid in selected))
+                        results = self.executor.map_ordered(
+                            _broadcast_cohort_update_task, [payload])[0]
+                    else:
+                        payloads = [(session, broadcast.handle, round_index,
+                                     cid, self.clients.peek_state(cid))
+                                    for cid in selected]
+                        results = self._dispatch(_broadcast_local_update_task,
+                                                 selected, payloads,
+                                                 round_index=round_index,
+                                                 ordered=ordered)
             else:
                 legacy = [(self._dispatch_strategy(self.clients[cid]),
                            round_index, self.clients[cid])
@@ -695,12 +786,12 @@ class ServerCore:
         cap = self.config.fleet.eval_clients
         ids = self.clients.client_ids
         if cap is None or cap >= len(ids):
-            return ids
+            return [int(cid) for cid in ids]
         if self._eval_ids is None:
             rng = np.random.default_rng(
                 (self.config.seed, len(ids), _EVAL_SUBSET_SALT))
             chosen = rng.choice(len(ids), size=cap, replace=False)
-            self._eval_ids = sorted(ids[position] for position in chosen)
+            self._eval_ids = sorted(int(ids[position]) for position in chosen)
         return self._eval_ids
 
     def evaluate_personalized(self) -> float:

@@ -10,7 +10,7 @@ exercises in the "Dyn" ablation rows of Table II.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
@@ -108,8 +108,10 @@ class DeviceFleet:
         return len(self.profiles)
 
     @property
-    def client_ids(self) -> List[int]:
-        return sorted(self.profiles.keys())
+    def client_ids(self) -> np.ndarray:
+        ids = np.asarray(sorted(self.profiles.keys()), dtype=np.int64)
+        ids.flags.writeable = False
+        return ids
 
     def capabilities(self) -> Dict[int, float]:
         return {cid: profile.capability for cid, profile in self.profiles.items()}
@@ -198,6 +200,7 @@ class VirtualDeviceFleet(DeviceFleet):
         self.bandwidth_levels = tuple(bandwidth_levels)
         self.dynamic = dynamic
         self.seed = seed
+        self._ids: np.ndarray | None = None
 
     def __getitem__(self, client_id: int) -> DeviceProfile:
         if not 0 <= client_id < self.num_clients:
@@ -216,8 +219,13 @@ class VirtualDeviceFleet(DeviceFleet):
         return self.num_clients
 
     @property
-    def client_ids(self) -> List[int]:
-        return list(range(self.num_clients))
+    def client_ids(self) -> np.ndarray:
+        ids = self._ids
+        if ids is None or len(ids) != self.num_clients:
+            ids = np.arange(self.num_clients, dtype=np.int64)
+            ids.flags.writeable = False
+            self._ids = ids
+        return ids
 
     def capabilities(self) -> Dict[int, float]:
         return {cid: self[cid].capability for cid in range(self.num_clients)}

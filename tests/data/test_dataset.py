@@ -90,7 +90,7 @@ class TestFederatedContainers:
 
     def test_federated_dataset_accessors(self, small_fed_dataset):
         assert small_fed_dataset.num_clients == 6
-        assert small_fed_dataset.client_ids == list(range(6))
+        assert list(small_fed_dataset.client_ids) == list(range(6))
         shard = small_fed_dataset.client(0)
         assert len(shard.train) > 0 and len(shard.test) > 0
         with pytest.raises(KeyError):

@@ -1,0 +1,267 @@
+"""Vectorized cohort training vs the per-client loop, bit-for-bit.
+
+The batched engine (``repro.federated.batched``, ``repro.core
+.sparse_training.learnable_sparse_training_cohort``) and its server wiring
+(``FederatedConfig.batch_cohort``) promise EXACT equality with the
+sequential per-client path: every returned parameter, metric and RNG
+stream, across masks, patterns, proximal terms, momentum, clipping and
+ragged dataset sizes.  These tests pin that contract — a single flipped
+bit anywhere fails them.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.importance import initialize_importance
+from repro.core.sparse_training import (learnable_sparse_training,
+                                        learnable_sparse_training_cohort)
+from repro.data.dataset import Dataset
+from repro.federated import (client_batch_schedule, iterate_batches,
+                             train_cohort_batched, train_locally)
+from repro.models import build_mlp
+from repro.sparsity import build_parameter_mask, random_pattern
+
+INPUT_DIM = 6
+NUM_CLASSES = 3
+
+
+def _model():
+    return build_mlp(INPUT_DIM, [5], NUM_CLASSES, seed=0)
+
+
+def _dataset(n, seed):
+    rng = np.random.default_rng(seed)
+    return Dataset(rng.normal(size=(n, INPUT_DIM)),
+                   rng.integers(0, NUM_CLASSES, size=n))
+
+
+def _assert_results_equal(loop_results, batched_results):
+    assert len(loop_results) == len(batched_results)
+    for a, b in zip(loop_results, batched_results):
+        assert set(a.params) == set(b.params)
+        for key in a.params:
+            np.testing.assert_array_equal(a.params[key], b.params[key])
+        assert a.train_accuracy == b.train_accuracy
+        assert a.train_loss == b.train_loss
+        assert a.examples_seen == b.examples_seen
+
+
+class TestBatchSchedule:
+    @given(n_examples=st.integers(min_value=1, max_value=40),
+           batch_size=st.integers(min_value=1, max_value=16),
+           iterations=st.integers(min_value=0, max_value=12),
+           seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_iterate_batches(self, n_examples, batch_size,
+                                     iterations, seed):
+        dataset = _dataset(n_examples, seed)
+        loop_batches = list(iterate_batches(
+            dataset, batch_size, iterations,
+            rng=np.random.default_rng(seed)))
+        schedule = client_batch_schedule(
+            n_examples, batch_size, iterations,
+            rng=np.random.default_rng(seed))
+        assert len(schedule) == len(loop_batches) == iterations
+        for indices, (x, y) in zip(schedule, loop_batches):
+            np.testing.assert_array_equal(dataset.x[indices], x)
+            np.testing.assert_array_equal(dataset.y[indices], y)
+            assert len(indices) == min(batch_size, n_examples)
+
+
+class TestTrainCohortBatched:
+    @given(sizes=st.lists(st.integers(min_value=3, max_value=20),
+                          min_size=2, max_size=4),
+           momentum=st.sampled_from([0.0, 0.9]),
+           clip_norm=st.sampled_from([None, 0.5]),
+           prox_mu=st.sampled_from([0.0, 0.2]),
+           masked=st.booleans(),
+           seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_bit_identical_to_loop(self, sizes, momentum, clip_norm,
+                                   prox_mu, masked, seed):
+        model = _model()
+        cohort = len(sizes)
+        datasets = [_dataset(n, seed * 31 + i) for i, n in enumerate(sizes)]
+        rng = np.random.default_rng(seed)
+        base = model.get_parameters()
+        starts = [{key: value + 0.01 * rng.normal(size=value.shape)
+                   for key, value in base.items()} for _ in range(cohort)]
+        patterns = masks = None
+        if masked:
+            patterns = [random_pattern(model, 0.5 + 0.5 * (i % 2),
+                                       rng=np.random.default_rng(seed + i))
+                        for i in range(cohort)]
+            masks = [build_parameter_mask(model, pattern)
+                     for pattern in patterns]
+        kwargs = dict(iterations=3, batch_size=8, learning_rate=0.1,
+                      momentum=momentum, clip_norm=clip_norm, prox_mu=prox_mu)
+        loop = [train_locally(model, starts[i], datasets[i],
+                              param_mask=None if masks is None else masks[i],
+                              pattern=None if patterns is None
+                              else patterns[i],
+                              rng=np.random.default_rng(seed + 1000 + i),
+                              **kwargs)
+                for i in range(cohort)]
+        batched = train_cohort_batched(
+            model, starts, datasets, param_masks=masks, patterns=patterns,
+            rngs=[np.random.default_rng(seed + 1000 + i)
+                  for i in range(cohort)],
+            **kwargs)
+        _assert_results_equal(loop, batched)
+
+    def test_shared_prox_center_and_trainable_keys(self):
+        model = _model()
+        sizes = [12, 5, 9]
+        datasets = [_dataset(n, 7 + i) for i, n in enumerate(sizes)]
+        base = model.get_parameters()
+        center = {key: value + 0.05 for key, value in base.items()}
+        keys = ["fc1.W", "fc1.b"]
+        kwargs = dict(iterations=4, batch_size=8, learning_rate=0.1,
+                      prox_mu=0.1, prox_center=center, trainable_keys=keys)
+        loop = [train_locally(model, base, datasets[i],
+                              rng=np.random.default_rng(50 + i), **kwargs)
+                for i in range(len(sizes))]
+        batched = train_cohort_batched(
+            model, [base] * len(sizes), datasets,
+            rngs=[np.random.default_rng(50 + i) for i in range(len(sizes))],
+            **kwargs)
+        _assert_results_equal(loop, batched)
+        # frozen keys really stayed frozen in the batched run too
+        for result in batched:
+            np.testing.assert_array_equal(result.params["head.W"],
+                                          base["head.W"])
+
+    def test_per_client_learning_rates(self):
+        model = _model()
+        sizes = [10, 10]
+        datasets = [_dataset(n, 90 + i) for i, n in enumerate(sizes)]
+        base = model.get_parameters()
+        rates = [0.1, 0.05]
+        loop = [train_locally(model, base, datasets[i], iterations=3,
+                              batch_size=8, learning_rate=rates[i],
+                              rng=np.random.default_rng(60 + i))
+                for i in range(2)]
+        batched = train_cohort_batched(
+            model, [base] * 2, datasets, iterations=3, batch_size=8,
+            learning_rate=np.asarray(rates),
+            rngs=[np.random.default_rng(60 + i) for i in range(2)])
+        _assert_results_equal(loop, batched)
+
+
+class TestLearnableSparseCohort:
+    @pytest.mark.parametrize("sizes,kwargs", [
+        ([20, 20, 20], {}),
+        ([20, 7, 13], {}),
+        ([20, 7, 13], dict(prox_mu=0.2)),
+        ([20, 20, 20], dict(momentum=0.9, clip_norm=1.0)),
+        ([20, 9, 14], dict(refresh_pattern_each_iteration=True)),
+        ([20, 20, 20], dict(importance_learning_rate=0.02,
+                            importance_lambda=0.3)),
+    ], ids=["homog", "ragged", "ragged-prox", "momentum-clip",
+            "ragged-refresh", "importance-lr"])
+    def test_bit_identical_to_loop(self, sizes, kwargs):
+        model = _model()
+        cohort = len(sizes)
+        datasets = [_dataset(n, 70 + i) for i, n in enumerate(sizes)]
+        start = model.get_parameters()
+        importances = [initialize_importance(model, seed=1000 + i)
+                       for i in range(cohort)]
+        ratios = [0.5, 0.75, 1.0][:cohort]
+        common = dict(iterations=3, batch_size=8, learning_rate=0.1, **kwargs)
+        loop = [learnable_sparse_training(
+            model, start, importances[i], datasets[i],
+            sparse_ratio=ratios[i], rng=np.random.default_rng(100 + i),
+            **common) for i in range(cohort)]
+        batched = learnable_sparse_training_cohort(
+            model, start, importances, datasets, sparse_ratios=ratios,
+            rngs=[np.random.default_rng(100 + i) for i in range(cohort)],
+            **common)
+        for a, b in zip(loop, batched):
+            for key in a.personalized_params:
+                np.testing.assert_array_equal(a.personalized_params[key],
+                                              b.personalized_params[key])
+                np.testing.assert_array_equal(a.residual[key],
+                                              b.residual[key])
+            for name in a.importance.scores:
+                np.testing.assert_array_equal(a.importance.scores[name],
+                                              b.importance.scores[name])
+            assert set(a.pattern) == set(b.pattern)
+            for name in a.pattern:
+                np.testing.assert_array_equal(a.pattern[name],
+                                              b.pattern[name])
+            assert a.train_loss == b.train_loss
+            assert a.train_accuracy == b.train_accuracy
+            assert a.examples_seen == b.examples_seen
+            assert a.sparse_ratio == b.sparse_ratio
+
+
+def _history_key(history):
+    return json.dumps(json.loads(json.dumps(history.to_dict())),
+                      sort_keys=True)
+
+
+def _small(preset_name="mnist", **overrides):
+    from repro.experiments import preset_for, scaled
+
+    base = dict(num_clients=8, num_rounds=2, clients_per_round=4,
+                examples_per_client=20, local_iterations=2, batch_size=8,
+                seed=11)
+    base.update(overrides)
+    return scaled(preset_for(preset_name), **base)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("method", ["fedavg", "fedprox", "fedlps", "oort"])
+    def test_histories_identical_with_batching(self, method):
+        from repro.experiments import run_method, scaled
+
+        preset = _small()
+        default = run_method(method, preset)
+        batched = run_method(method, scaled(preset, batch_cohort=True))
+        assert _history_key(default) == _history_key(batched)
+
+    @pytest.mark.parametrize("method", ["heterofl", "fedavg"],
+                             ids=["strategy-fallback", "model-fallback"])
+    def test_fallback_paths_identical(self, method):
+        """Strategies/models without a batched path fall back to the loop."""
+        from repro.experiments import run_method, scaled
+
+        preset = _small("reddit" if method == "fedavg" else "mnist")
+        default = run_method(method, preset)
+        batched = run_method(method, scaled(preset, batch_cohort=True))
+        assert _history_key(default) == _history_key(batched)
+
+    def test_supervised_execution_disables_batching(self):
+        from repro.experiments import run_method, scaled
+
+        preset = _small(max_retries=1)
+        default = run_method("fedavg", preset)
+        batched = run_method("fedavg", scaled(preset, batch_cohort=True))
+        assert _history_key(default) == _history_key(batched)
+
+
+class TestGoldenParity:
+    @pytest.mark.parametrize("method", ["fedavg", "fedlps", "fedprox"])
+    def test_batched_run_reproduces_golden_fixture(self, method):
+        """The batched path replays pinned fixtures with ZERO regeneration."""
+        import importlib.util
+        from pathlib import Path
+
+        from repro.experiments import run_method, scaled
+
+        spec = importlib.util.spec_from_file_location(
+            "golden_fixtures",
+            Path(__file__).resolve().parents[1] / "fixtures"
+            / "regenerate_golden.py")
+        golden = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(golden)
+        payload = json.loads(golden.fixture_path(method).read_text())
+        preset = scaled(golden.golden_preset("ideal"), batch_cohort=True)
+        history = run_method(method, preset)
+        assert json.loads(json.dumps(history.to_dict())) == payload["history"]

@@ -210,7 +210,7 @@ class TestSessionDatasetBlocks:
         assert rebuilt.name == dataset.name
         assert rebuilt.num_classes == dataset.num_classes
         assert rebuilt.input_shape == tuple(dataset.input_shape)
-        assert rebuilt.client_ids == dataset.client_ids
+        assert list(rebuilt.client_ids) == list(dataset.client_ids)
         for cid in dataset.client_ids:
             original, copy = dataset.client(cid), rebuilt.client(cid)
             np.testing.assert_array_equal(original.train.x, copy.train.x)

@@ -61,7 +61,7 @@ class TestShardEquivalence:
         assert isinstance(lazy, VirtualFederatedDataset)
         assert lazy.num_classes == eager.num_classes
         assert tuple(lazy.input_shape) == tuple(eager.input_shape)
-        assert lazy.client_ids == eager.client_ids
+        assert list(lazy.client_ids) == list(eager.client_ids)
         assert_same_shards(eager, lazy, eager.client_ids)
 
     @given(num_clients=st.integers(min_value=2, max_value=8),

@@ -70,7 +70,7 @@ class TestFleet:
 
     def test_device_fleet_container(self):
         fleet = DeviceFleet({0: DeviceProfile(0, 1.0)})
-        assert fleet.client_ids == [0]
+        assert list(fleet.client_ids) == [0]
 
 
 class TestCostModel:
