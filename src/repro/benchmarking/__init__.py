@@ -5,6 +5,8 @@ from .batch import (batch_preset, format_batch_report, measure_batching,
 from .checkpoint import (format_checkpoint_report, measure_checkpoint,
                          run_checkpoint_bench)
 from .codec import format_codec_report, measure_codec, run_codec_bench
+from .dist import (dist_preset, format_dist_report, measure_dist_cell,
+                   measure_shard_balance, run_dist_bench)
 from .fanout import (BENCH_METHOD, fanout_preset, format_bench_report,
                      measure_aggregation_modes, measure_fanout_bytes,
                      run_fanout_bench)
@@ -25,6 +27,11 @@ __all__ = [
     "format_codec_report",
     "measure_codec",
     "run_codec_bench",
+    "dist_preset",
+    "format_dist_report",
+    "measure_dist_cell",
+    "measure_shard_balance",
+    "run_dist_bench",
     "fanout_preset",
     "format_bench_report",
     "measure_aggregation_modes",

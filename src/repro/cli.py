@@ -83,6 +83,8 @@ def _preset_overrides(args: argparse.Namespace) -> dict:
         overrides["max_retries"] = args.max_retries
     if getattr(args, "batch_cohort", None):
         overrides["batch_cohort"] = True
+    if getattr(args, "reducer_shards", None) is not None:
+        overrides["reducer_shards"] = args.reducer_shards
     return overrides
 
 
@@ -134,6 +136,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
                              "when the strategy/model pair supports it; "
                              "bit-identical histories, much less Python "
                              "overhead on homogeneous cohorts")
+    parser.add_argument("--reducer-shards", type=int, default=None,
+                        help="partition the aggregation across N "
+                             "parameter-server reducer shards (keys are "
+                             "assigned by a deterministic hash of their "
+                             "name); histories are bit-identical at every "
+                             "count (default 1 = unsharded)")
     parser.add_argument("--rounds", type=int, default=None)
     parser.add_argument("--clients", type=int, default=None)
     parser.add_argument("--clients-per-round", type=int, default=None)
@@ -149,10 +157,22 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", default="serial",
                         choices=available_backends(),
                         help="execution backend for parallel work")
+    parser.add_argument("--hosts", nargs="+", default=None,
+                        metavar="HOST:PORT",
+                        help="socket backend only: connect to pre-started "
+                             "`python -m repro.parallel.worker --listen` "
+                             "daemons at these addresses instead of "
+                             "spawning localhost workers (requires "
+                             "--worker-token)")
+    parser.add_argument("--worker-token", default=None,
+                        help="shared secret authenticating the socket "
+                             "backend against --hosts worker daemons")
 
 
 def _executor_from(args: argparse.Namespace):
-    return resolve_executor(args.backend, args.workers)
+    return resolve_executor(args.backend, args.workers,
+                            hosts=getattr(args, "hosts", None),
+                            worker_token=getattr(args, "worker_token", None))
 
 
 def _fanout_only_clashes(args: argparse.Namespace) -> List[str]:
@@ -333,6 +353,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--batch-output", default="BENCH_batch.json",
                               help="where to write the cohort-batching JSON "
                                    "report ('' skips writing)")
+    bench_parser.add_argument("--dist-scale", type=float, default=None,
+                              help="run the distributed axis instead: real "
+                                   "socket-backend rounds (x SCALE workload) "
+                                   "at 1/2/4 reducer shards, gating that "
+                                   "every history is bit-identical to serial "
+                                   "and that per-shard aggregate bytes scale "
+                                   "~1/N; written to --dist-output")
+    bench_parser.add_argument("--dist-output", default="BENCH_dist.json",
+                              help="where to write the distributed JSON "
+                                   "report ('' skips writing)")
 
     sub.add_parser("list", help="list available methods")
     return parser
@@ -352,7 +382,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             ("--checkpoint-scale", args.checkpoint_scale),
             ("--codec-scale", args.codec_scale),
             ("--fault-scale", args.fault_scale),
-            ("--batch-scale", args.batch_scale)) if value is not None]
+            ("--batch-scale", args.batch_scale),
+            ("--dist-scale", args.dist_scale)) if value is not None]
         if len(axes) > 1:
             print(f"bench {' and '.join(axes)} are separate axes; run them "
                   "as separate invocations", flush=True)
@@ -361,6 +392,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("bench --fault-plan applies only to the --fault-scale "
                   "axis", flush=True)
             return 2
+        if args.dist_scale is not None:
+            clashes = _fanout_only_clashes(args)
+            if clashes:
+                print(f"bench --dist-scale ignores {', '.join(clashes)} — "
+                      "those apply only to the fan-out bench (the "
+                      "distributed axis writes its report to --dist-output)",
+                      flush=True)
+                return 2
+            from .benchmarking import format_dist_report, run_dist_bench
+            report = run_dist_bench(scale=args.dist_scale,
+                                    output=args.dist_output or None)
+            print(format_dist_report(report))
+            if args.dist_output:
+                print(f"# report written to {args.dist_output}")
+            if args.check and not report["gate"]["pass"]:
+                return 1
+            return 0
         if args.batch_scale is not None:
             clashes = _fanout_only_clashes(args)
             if clashes:

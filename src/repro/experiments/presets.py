@@ -73,6 +73,10 @@ class ExperimentPreset:
     #: strategy/model pair supports it.  Bit-identical histories either
     #: way; cache-keyed like every field.
     batch_cohort: bool = False
+    #: reducer shard count (``repro.parallel.sharding``): partition the
+    #: parameter manifest by key across N parameter-server reducer shards.
+    #: Histories are bit-identical at every count; cache-keyed regardless.
+    reducer_shards: int = 1
     seed: int = 0
     extra_config: Dict[str, float] = field(default_factory=dict)
 
@@ -163,6 +167,7 @@ def build_experiment(preset: ExperimentPreset
         task_timeout=preset.task_timeout,
         max_retries=preset.max_retries,
         batch_cohort=preset.batch_cohort,
+        reducer_shards=preset.reducer_shards,
         fleet=FleetConfig(lazy=preset.lazy_fleet,
                           eval_clients=preset.eval_clients),
         extra=dict(preset.extra_config))

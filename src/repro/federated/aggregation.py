@@ -50,6 +50,12 @@ def aggregate_residuals(global_params: Mapping[str, np.ndarray],
     result is bit-identical to the dense reduction — see
     :func:`repro.nn.params.indexed_subtract_scaled` for the proof.
     """
+    from ..parallel.sharding import active_plan
+    plan = active_plan()
+    if plan is not None:
+        from ..parallel.sharding import sharded_aggregate_residuals
+        return sharded_aggregate_residuals(plan, global_params, residuals,
+                                           weights)
     if len(residuals) != len(weights):
         raise ValueError("residuals and weights must have the same length")
     if not residuals:
@@ -96,6 +102,12 @@ def masked_average(global_params: Mapping[str, np.ndarray],
     Each parameter entry is averaged only over the clients whose mask carries
     that entry; entries carried by nobody keep their previous global value.
     """
+    from ..parallel.sharding import active_plan
+    plan = active_plan()
+    if plan is not None:
+        from ..parallel.sharding import sharded_masked_average
+        return sharded_masked_average(plan, global_params, updates, masks,
+                                      weights)
     if len(updates) != len(masks):
         raise ValueError("updates and masks must have the same length")
     if not updates:

@@ -124,6 +124,13 @@ class FederatedConfig:
     # advertises via ``cohort_batchable``); unsupported pairs fall back to
     # the loop.  Off by default so existing histories stay byte-stable.
     batch_cohort: bool = False
+    # sharded parameter-server aggregation (``repro.parallel.sharding``):
+    # partition the parameter manifest by key across N reducer shards so
+    # per-shard aggregation bandwidth scales ~1/N.  The key→shard map is a
+    # pure function of the key name and shard count, and per-shard
+    # reductions keep the input order, so histories stay bit-identical to
+    # the serial reference at any shard count.
+    reducer_shards: int = 1
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -170,3 +177,5 @@ class FederatedConfig:
                 raise TypeError("faults must be a FaultPlan")
         if not isinstance(self.fleet, FleetConfig):
             raise TypeError("fleet must be a FleetConfig")
+        if self.reducer_shards <= 0:
+            raise ValueError("reducer_shards must be positive")

@@ -80,7 +80,17 @@ def weighted_average(param_dicts: Iterable[Mapping[str, np.ndarray]],
     per client.  Results are bit-identical to the naive
     ``sum(params * w / total)`` formulation — each contribution is still
     computed as ``params[key] * (weight / total)`` and added in input order.
+
+    Under an active reducer shard plan (``ServerCore.reduce_context``) the
+    reduction is partitioned by key across shards; each key still
+    accumulates independently in input order, so the result is bit-identical
+    (proof in :mod:`repro.parallel.sharding`).
     """
+    from ..parallel.sharding import active_plan
+    plan = active_plan()
+    if plan is not None:
+        from ..parallel.sharding import sharded_weighted_average
+        return sharded_weighted_average(plan, param_dicts, weights)
     weight_list = [float(w) for w in weights]
     total = sum(weight_list)
     result: ParamDict = {}

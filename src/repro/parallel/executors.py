@@ -325,14 +325,30 @@ def available_backends() -> List[str]:
     return sorted(EXECUTOR_BACKENDS)
 
 
-def resolve_executor(backend: str, workers: int = 1) -> Executor:
+def resolve_executor(backend: str, workers: int = 1, *,
+                     hosts: Optional[Sequence[str]] = None,
+                     worker_token: Optional[str] = None) -> Executor:
     """Instantiate an executor by backend name.
 
     ``workers <= 0`` selects :func:`default_worker_count` workers.
+    ``hosts``/``worker_token`` configure the socket backend's multi-host
+    shape (pre-started ``repro.parallel.worker --listen`` daemons) and are
+    rejected for every other backend.
     """
     key = backend.lower()
+    if key == "socket" and key not in EXECUTOR_BACKENDS:
+        # registration happens when repro.parallel.distributed is imported;
+        # resolve it for callers that only imported this module
+        from . import distributed  # noqa: F401 - registers the backend
     if key not in EXECUTOR_BACKENDS:
         raise ValueError(
             f"unknown executor backend {backend!r}; "
             f"available: {available_backends()}")
+    if key == "socket":
+        return EXECUTOR_BACKENDS[key](workers, hosts=hosts,
+                                      token=worker_token)
+    if hosts or worker_token:
+        raise ValueError(
+            "--hosts/--worker-token are only meaningful with the socket "
+            f"backend, not {backend!r}")
     return EXECUTOR_BACKENDS[key](workers)

@@ -1,0 +1,188 @@
+"""Length-prefixed binary framing for the distributed socket backend.
+
+Every message on a :class:`~repro.parallel.distributed.SocketExecutor`
+connection is one *frame*: a fixed 13-byte header followed by an opaque
+payload.  The header is ``magic (4s) | kind (B) | length (Q)`` in network
+byte order; the magic pins the protocol (a peer speaking anything else
+fails immediately instead of mis-framing), the kind tags what the payload
+means (see :class:`FrameKind`), and the length is the exact payload byte
+count.  Framing is deliberately dumb — no compression, no checksums, no
+negotiation — because everything riding it (pickles, broadcast segment
+bytes, codec wire blocks) is already a self-describing byte string.
+
+The module is pure bytes-in/bytes-out so it can be tested exhaustively
+without a socket: :func:`encode_frame` produces a frame, and
+:class:`FrameDecoder` consumes an arbitrarily-chunked byte stream and
+yields complete ``(kind, payload)`` pairs — TCP gives no message
+boundaries, so the decoder must be (and is, property-tested) correct under
+every possible split of the stream.  :func:`read_frame`/:func:`send_frame`
+are the thin blocking-socket wrappers the executor and worker use.
+
+Oversized frames are a protocol error, not an allocation: the decoder
+checks the declared length against ``max_frame_bytes`` *before* buffering
+the payload, so a corrupt (or hostile) header cannot ask the receiver to
+allocate gigabytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+#: protocol magic: any connection not starting every frame with these four
+#: bytes is not a repro peer (or the stream lost sync) — fail fast
+MAGIC = b"RPF1"
+
+_HEADER = struct.Struct(">4sBQ")
+HEADER_BYTES = _HEADER.size
+
+#: frames larger than this are refused on both send and receive; generous
+#: enough for a full session broadcast (dataset blocks + pickled skeleton)
+#: while still catching corrupt headers before they become allocations
+MAX_FRAME_BYTES = 1 << 31
+
+
+class FrameKind:
+    """Frame type tags of the worker protocol (one byte on the wire).
+
+    ``HELLO``/``WELCOME`` authenticate a connection (worker sends the
+    shared token, server assigns a worker id).  ``TASK`` carries one
+    pickled ``(task_id, fn, payload)``; the worker answers with exactly one
+    ``RESULT`` or ``FAILED`` for it, interleaving any number of
+    ``FETCH``/``BLOB`` exchanges before that to pull broadcast segments it
+    has not cached (content-addressed by digest, so a segment is fetched
+    once per worker per publication).  ``BYE`` is a clean shutdown in
+    either direction.
+    """
+
+    HELLO = 1
+    WELCOME = 2
+    TASK = 3
+    RESULT = 4
+    FAILED = 5
+    FETCH = 6
+    BLOB = 7
+    BYE = 8
+
+    #: every tag a conforming peer may put on the wire
+    ALL = (HELLO, WELCOME, TASK, RESULT, FAILED, FETCH, BLOB, BYE)
+
+
+class FrameError(Exception):
+    """A malformed frame: bad magic, unknown kind, or oversized length."""
+
+
+class ConnectionClosed(Exception):
+    """The peer went away (clean EOF or mid-frame truncation).
+
+    ``partial`` distinguishes a socket that closed between frames (an
+    orderly, if unannounced, departure) from one that died mid-frame
+    (a killed worker, a cut cable): supervision treats both as a lost
+    worker, but logs want the difference.
+    """
+
+    def __init__(self, message: str, *, partial: bool = False) -> None:
+        super().__init__(message)
+        self.partial = partial
+
+
+def encode_frame(kind: int, payload: bytes,
+                 max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """One wire-ready frame: header + payload."""
+    if kind not in FrameKind.ALL:
+        raise FrameError(f"unknown frame kind {kind!r}")
+    if len(payload) > max_frame_bytes:
+        raise FrameError(f"frame payload of {len(payload)} bytes exceeds "
+                         f"the {max_frame_bytes}-byte limit")
+    return _HEADER.pack(MAGIC, kind, len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrarily-chunked byte stream.
+
+    ``feed(data)`` buffers ``data`` and returns every frame completed by
+    it, in order — zero, one or many; a frame split across any number of
+    feeds is reassembled exactly.  The decoder validates the header as
+    soon as the 13 header bytes are available, so bad magic and oversized
+    lengths surface before their payloads are ever buffered.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        self._need: Optional[Tuple[int, int]] = None  # (kind, payload length)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Tuple[int, bytes]]:
+        self._buffer.extend(data)
+        frames: List[Tuple[int, bytes]] = []
+        while True:
+            if self._need is None:
+                if len(self._buffer) < HEADER_BYTES:
+                    return frames
+                magic, kind, length = _HEADER.unpack_from(self._buffer)
+                if magic != MAGIC:
+                    raise FrameError(
+                        f"bad frame magic {bytes(magic)!r} (expected "
+                        f"{MAGIC!r}) — peer is not speaking this protocol")
+                if kind not in FrameKind.ALL:
+                    raise FrameError(f"unknown frame kind {kind}")
+                if length > self.max_frame_bytes:
+                    raise FrameError(
+                        f"declared frame length {length} exceeds the "
+                        f"{self.max_frame_bytes}-byte limit")
+                del self._buffer[:HEADER_BYTES]
+                self._need = (kind, length)
+            kind, length = self._need
+            if len(self._buffer) < length:
+                return frames
+            payload = bytes(self._buffer[:length])
+            del self._buffer[:length]
+            self._need = None
+            frames.append((kind, payload))
+
+
+def send_frame(sock, kind: int, payload: bytes) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(kind, payload))
+
+
+def _recv_exactly(sock, count: int, *, anything_read: bool) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            partial = anything_read or bool(chunks)
+            raise ConnectionClosed(
+                "peer closed the connection mid-frame" if partial
+                else "peer closed the connection", partial=partial)
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock, max_frame_bytes: int = MAX_FRAME_BYTES
+               ) -> Tuple[int, bytes]:
+    """Read exactly one frame from a blocking socket.
+
+    Raises :class:`ConnectionClosed` on EOF — ``partial=False`` when the
+    stream ended cleanly between frames, ``partial=True`` when it died
+    inside one — and :class:`FrameError` on a malformed header.
+    """
+    header = _recv_exactly(sock, HEADER_BYTES, anything_read=False)
+    magic, kind, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if kind not in FrameKind.ALL:
+        raise FrameError(f"unknown frame kind {kind}")
+    if length > max_frame_bytes:
+        raise FrameError(f"declared frame length {length} exceeds the "
+                         f"{max_frame_bytes}-byte limit")
+    payload = _recv_exactly(sock, length, anything_read=True) if length \
+        else b""
+    return kind, payload

@@ -1,0 +1,171 @@
+"""Remote worker process for the socket backend.
+
+Run as a module::
+
+    python -m repro.parallel.worker --connect HOST:PORT --token TOK
+    python -m repro.parallel.worker --listen  HOST:PORT --token TOK
+
+``--connect`` is the localhost shape: :class:`SocketExecutor` spawns this
+process and it dials back into the executor's listener, serves tasks until
+the connection closes, then exits.  ``--listen`` is the multi-host daemon
+shape: the process binds the given address, serves one executor connection
+at a time, and goes back to accepting when the connection ends — so it
+survives server restarts and ``replenish()`` reconnects.
+
+The serve loop is deliberately tiny: authenticate (HELLO/WELCOME with the
+shared token), then for each ``TASK`` frame unpickle ``(task_id, fn,
+payload)``, swap any shared-memory broadcast handles in the payload for
+inline ones (digest cache first, ``FETCH``/``BLOB`` round trip on a miss),
+run ``fn`` and answer with one ``RESULT`` or ``FAILED``.  Injected faults
+run *inside* ``fn`` (the supervision wrapper travels with the task), so a
+real crash (``os._exit``) kills this process and a real hang stalls it —
+exactly the failure modes the executor's supervision contract recovers
+from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import socket
+import sys
+from typing import Optional
+
+from ..util import BoundedLRU
+from .distributed import RemoteTaskError, resolve_handles
+from .framing import (MAX_FRAME_BYTES, ConnectionClosed, FrameError,
+                      FrameKind, read_frame, send_frame)
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: broadcast segments cached by digest — the run-invariant session plus the
+#: current round's broadcasts, with slack, mirroring the materialize cache
+SEGMENT_CACHE_LIMIT = 8
+
+
+def _pickle_failure(task_id: int, exc: BaseException) -> bytes:
+    """The FAILED payload for ``exc``, degrading to a picklable stand-in."""
+    try:
+        return pickle.dumps((task_id, exc), protocol=_PICKLE_PROTOCOL)
+    except Exception:
+        stand_in = RemoteTaskError(f"{type(exc).__name__}: {exc}")
+        return pickle.dumps((task_id, stand_in), protocol=_PICKLE_PROTOCOL)
+
+
+def serve_connection(sock: socket.socket, token: str,
+                     max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+    """Authenticate and serve tasks until the peer goes away.
+
+    Raises :class:`ConnectionClosed` when the executor disconnects (the
+    normal end of a localhost worker's life) and :class:`FrameError` on
+    protocol violations.
+    """
+    send_frame(sock, FrameKind.HELLO,
+               pickle.dumps({"token": token, "pid": os.getpid()},
+                            protocol=_PICKLE_PROTOCOL))
+    kind, _ = read_frame(sock, max_frame_bytes)
+    if kind != FrameKind.WELCOME:
+        raise FrameError(f"expected WELCOME after HELLO, got kind {kind}")
+
+    segments = BoundedLRU(SEGMENT_CACHE_LIMIT)
+
+    def fetch(handle) -> bytes:
+        blob = segments.get(handle.digest)
+        if blob is None:
+            send_frame(sock, FrameKind.FETCH, handle.digest.encode("ascii"))
+            reply_kind, payload = read_frame(sock, max_frame_bytes)
+            if reply_kind != FrameKind.BLOB:
+                raise FrameError(
+                    f"expected BLOB for FETCH, got kind {reply_kind}")
+            if not payload:
+                raise RuntimeError(
+                    f"server could not serve broadcast segment "
+                    f"{handle.digest} (evicted or unlinked)")
+            blob = payload
+            segments.put(handle.digest, blob)
+        return blob
+
+    while True:
+        kind, payload = read_frame(sock, max_frame_bytes)
+        if kind == FrameKind.BYE:
+            return
+        if kind != FrameKind.TASK:
+            raise FrameError(f"unexpected frame kind {kind} while idle")
+        try:
+            task_id, fn, item = pickle.loads(payload)
+        except Exception as exc:
+            # a task that cannot even unpickle is a task error, not a dead
+            # worker: answer FAILED (the server ignores the echoed id) so a
+            # deterministic pickling problem doesn't masquerade as worker
+            # loss and burn replenish cycles
+            send_frame(sock, FrameKind.FAILED, _pickle_failure(
+                -1, RemoteTaskError(f"could not unpickle the task: {exc}")))
+            continue
+        try:
+            result = fn(resolve_handles(item, fetch))
+        except Exception as exc:
+            send_frame(sock, FrameKind.FAILED, _pickle_failure(task_id, exc))
+            continue
+        send_frame(sock, FrameKind.RESULT,
+                   pickle.dumps((task_id, result),
+                                protocol=_PICKLE_PROTOCOL))
+
+
+def _parse_address(spec: str) -> tuple:
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise SystemExit(f"address must be HOST:PORT, got {spec!r}")
+    return host, int(port)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.parallel.worker",
+        description="Socket-backend worker process (see "
+                    "repro.parallel.distributed)")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--connect", metavar="HOST:PORT",
+                      help="dial into a SocketExecutor listener and exit "
+                           "when it disconnects (localhost worker shape)")
+    mode.add_argument("--listen", metavar="HOST:PORT",
+                      help="bind this address and serve executor "
+                           "connections forever (multi-host daemon shape)")
+    parser.add_argument("--token", required=True,
+                        help="shared secret authenticating both peers")
+    parser.add_argument("--max-frame-bytes", type=int,
+                        default=MAX_FRAME_BYTES,
+                        help="frame size limit (protocol safety valve)")
+    args = parser.parse_args(argv)
+
+    if args.connect:
+        host, port = _parse_address(args.connect)
+        sock = socket.create_connection((host, port), timeout=15.0)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(None)
+        try:
+            serve_connection(sock, args.token, args.max_frame_bytes)
+        except ConnectionClosed:
+            pass  # the executor went away — a localhost worker's normal end
+        finally:
+            sock.close()
+        return 0
+
+    host, port = _parse_address(args.listen)
+    server = socket.create_server((host, port))
+    while True:
+        conn, _ = server.accept()
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            serve_connection(conn, args.token, args.max_frame_bytes)
+        except (ConnectionClosed, FrameError, OSError):
+            pass  # drop the connection, go back to accepting
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry point
+    sys.exit(main())

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import copy
 import threading
+from contextlib import nullcontext
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -566,6 +567,22 @@ class ServerCore:
         """
         report, self._last_wire = self._last_wire, None
         return report
+
+    def reduce_context(self):
+        """The context every aggregation/merge runs under.
+
+        With ``config.reducer_shards > 1`` this installs a
+        :func:`repro.parallel.sharding.shard_plan`, partitioning the
+        parameter manifest by key across reducer shards for the extent of
+        the aggregation — the parameter-server reduce path.  Sharding
+        never touches the history (bit-identical by construction; the
+        byte ledger lives in module-level ``shard_stats``), so the
+        single-shard default is a no-op context.
+        """
+        if self.config.reducer_shards > 1:
+            from ..parallel.sharding import shard_plan
+            return shard_plan(self.config.reducer_shards)
+        return nullcontext()
 
     def close(self) -> None:
         """Release broadcast resources (recreated lazily if needed again)."""

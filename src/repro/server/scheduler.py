@@ -175,7 +175,8 @@ class SyncScheduler(Scheduler):
             kept_updates = [u for u in updates if u.client_id in kept]
             kept_costs = {u.client_id: costs[u.client_id]
                           for u in kept_updates}
-            core.strategy.aggregate(round_index, kept_updates)
+            with core.reduce_context():
+                core.strategy.aggregate(round_index, kept_updates)
             core.strategy.post_round(round_index, kept_updates, kept_costs)
 
             cumulative_flops += round_flops
@@ -415,7 +416,8 @@ class AsyncScheduler(_EventDrivenScheduler):
         arrival = Arrival(update=event.update,
                           staleness=self._version - event.dispatch_version,
                           cost=event.cost)
-        policy.merge(core.strategy, round_index, [arrival])
+        with core.reduce_context():
+            policy.merge(core.strategy, round_index, [arrival])
         self._version += 1
         return [arrival]
 
@@ -471,7 +473,8 @@ class BufferedScheduler(_EventDrivenScheduler):
                          staleness=self._version - e.dispatch_version,
                          cost=e.cost)
                  for e in self._buffer]
-        policy.merge(core.strategy, round_index, batch)
+        with core.reduce_context():
+            policy.merge(core.strategy, round_index, batch)
         self._version += 1
         self._buffer = []
         return batch

@@ -30,8 +30,8 @@ def _bump(payload):
 
 class TestResolve:
     def test_available_backends(self):
-        assert available_backends() == ["process", "serial", "thread"]
-        assert set(EXECUTOR_BACKENDS) == {"serial", "thread", "process"}
+        assert available_backends() == ["process", "serial", "socket", "thread"]
+        assert set(EXECUTOR_BACKENDS) == {"serial", "thread", "process", "socket"}
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown executor backend"):

@@ -31,6 +31,10 @@ class _FakeCore:
         self.strategy = Strategy()
         self.strategy.global_params = {"w": np.array([0.0])}
 
+    def reduce_context(self):
+        from contextlib import nullcontext
+        return nullcontext()
+
 
 def _event(client_id, value, dispatch_version=0, finish=1.0):
     update = ClientUpdate(client_id=client_id,

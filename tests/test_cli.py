@@ -41,7 +41,7 @@ class TestParser:
     def test_bench_defaults(self):
         args = build_parser().parse_args(["bench"])
         assert args.scale == 1.0
-        assert args.backends == ["process", "serial", "thread"]
+        assert args.backends == ["process", "serial", "socket", "thread"]
         assert args.workers_list == [1, 2, 4]
         # None means "BENCH_fanout.json unless --fleet-scale took over"
         assert args.output is None
