@@ -12,8 +12,11 @@ machines.  Two deployment shapes share one protocol
   back in;
 * **multi-host**: the executor is given ``host:port`` addresses of
   pre-started ``python -m repro.parallel.worker --listen`` daemons and
-  connects out to them (the shared ``--token`` authenticates both
-  directions).
+  connects out to them.  The shared ``--token`` authenticates both
+  directions through a mutual HMAC challenge-response (see
+  :mod:`repro.parallel.framing`): each peer proves it holds the token
+  before the other trusts it with anything, the token itself never
+  crosses the wire, and no unauthenticated byte is ever unpickled.
 
 Broadcast semantics are content-addressed, like the shared-memory path:
 a task payload carries :class:`~repro.parallel.broadcast.BroadcastHandle`
@@ -57,13 +60,11 @@ from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 from ..util import BoundedLRU
 from .broadcast import BroadcastHandle, _attach_and_copy
 from .executors import EXECUTOR_BACKENDS, Executor
-from .framing import (HEADER_BYTES, ConnectionClosed, FrameError, FrameKind,
-                      read_frame, send_frame)
+from .framing import (HANDSHAKE_TIMEOUT, HEADER_BYTES, ConnectionClosed,
+                      FrameError, FrameKind, read_frame, send_frame,
+                      server_handshake)
 
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
-
-#: how long connection establishment / authentication may take per peer
-HANDSHAKE_TIMEOUT = 15.0
 
 #: distinct broadcast segments kept servable for worker FETCHes — the live
 #: set is the session broadcast plus the current round's fan-out(s), same
@@ -242,6 +243,12 @@ class _WorkerConnection:
             return
         try:
             self._send(FrameKind.TASK, frame)
+        except FrameError as exc:
+            # encode_frame refused the frame (an oversized task) before a
+            # single byte hit the wire: the caller's error, exactly like
+            # an unpicklable task — the worker stays healthy
+            _set_exception_safe(future, exc)
+            return
         except (ConnectionClosed, OSError) as exc:
             raise _TaskUnsent() from exc
         while True:
@@ -315,6 +322,7 @@ class SocketExecutor(Executor):
         self._connections: List[_WorkerConnection] = []
         self._processes: List[Tuple[subprocess.Popen, int]] = []
         self._generation = 0
+        self._replenishing = False
         self._worker_seq = 0
         self._task_ids = itertools.count()
         self._handles = BoundedLRU(HANDLE_REGISTRY_LIMIT)
@@ -392,16 +400,18 @@ class SocketExecutor(Executor):
                              daemon=True).start()
 
     def _admit(self, sock: socket.socket) -> None:
-        """Authenticate one inbound (localhost-spawned) worker."""
+        """Authenticate one inbound (localhost-spawned) worker.
+
+        The handshake payloads are fixed-length raw bytes verified with
+        a constant-time HMAC comparison — nothing from the peer is
+        unpickled until it has proven the token, so a stray local
+        process connecting to the loopback listener gets no pickle
+        deserialization surface and no adoption.
+        """
         try:
             sock.settimeout(HANDSHAKE_TIMEOUT)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            kind, payload = read_frame(sock)
-            hello = pickle.loads(payload)
-            if kind != FrameKind.HELLO or hello.get("token") != self._token:
-                sock.close()
-                return
-            send_frame(sock, FrameKind.WELCOME, b"")
+            remote_pid = server_handshake(sock, self._token)
             sock.settimeout(None)
         except Exception:
             try:
@@ -409,7 +419,7 @@ class SocketExecutor(Executor):
             except OSError:
                 pass
             return
-        self._adopt(sock, remote_pid=hello.get("pid"))
+        self._adopt(sock, remote_pid=remote_pid)
 
     def _adopt(self, sock: socket.socket, *,
                remote_pid: Optional[int]) -> None:
@@ -443,16 +453,17 @@ class SocketExecutor(Executor):
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             sock.settimeout(HANDSHAKE_TIMEOUT)
             # the accepting daemon speaks first, mirroring the localhost
-            # direction: worker HELLO, server WELCOME
-            kind, payload = read_frame(sock)
-            hello = pickle.loads(payload)
-            if kind != FrameKind.HELLO or hello.get("token") != self._token:
+            # direction: worker HELLO, executor challenge, worker proof —
+            # nothing the daemon sends is unpickled before it verifies
+            try:
+                remote_pid = server_handshake(sock, self._token)
+            except (ConnectionClosed, FrameError, OSError) as exc:
                 sock.close()
                 raise BrokenSocketPool(
-                    f"worker daemon {host}:{port} failed authentication")
-            send_frame(sock, FrameKind.WELCOME, b"")
+                    f"worker daemon {host}:{port} failed authentication: "
+                    f"{exc}") from exc
             sock.settimeout(None)
-            self._adopt(sock, remote_pid=hello.get("pid"))
+            self._adopt(sock, remote_pid=remote_pid)
 
     # ------------------------------------------------------------------ api
     def submit(self, fn: Callable[[Any], Any],
@@ -464,6 +475,12 @@ class SocketExecutor(Executor):
         # is marked running, so a task requeued by a dying connection is
         # not double-transitioned when the next generation picks it up
         self._queue.put([fn, item, future, False])
+        # a task queued after the pool's last worker already died would
+        # otherwise wait forever: the process-exit/connection-retire
+        # events that normally fail the queue fired before it was queued
+        with self._lock:
+            generation = self._generation
+        self._maybe_fail_pending(generation)
         return future
 
     def map_ordered(self, fn, items):
@@ -517,24 +534,32 @@ class SocketExecutor(Executor):
         with self._lock:
             self._generation += 1
             generation = self._generation
+            # the new generation has no workers until the respawn below
+            # completes — park _maybe_fail_pending so a concurrent
+            # submit() does not mistake the window for a dead pool
+            self._replenishing = True
             connections = list(self._connections)
             processes = self._processes
             self._processes = []
-        for connection in connections:
-            connection.close_socket()
-        for process, _ in processes:
-            if process.poll() is None:
-                process.terminate()
-        for process, _ in processes:
-            try:
-                process.wait(timeout=5)
-            except subprocess.TimeoutExpired:  # pragma: no cover - stuck
-                process.kill()
-                process.wait(timeout=5)
-        if self._hosts:
-            self._connect_hosts(generation)
-        else:
-            self._spawn_workers(generation)
+        try:
+            for connection in connections:
+                connection.close_socket()
+            for process, _ in processes:
+                if process.poll() is None:
+                    process.terminate()
+            for process, _ in processes:
+                try:
+                    process.wait(timeout=5)
+                except subprocess.TimeoutExpired:  # pragma: no cover - stuck
+                    process.kill()
+                    process.wait(timeout=5)
+            if self._hosts:
+                self._connect_hosts(generation)
+            else:
+                self._spawn_workers(generation)
+        finally:
+            with self._lock:
+                self._replenishing = False
 
     def close(self) -> None:
         if self._closed:
@@ -663,7 +688,8 @@ class SocketExecutor(Executor):
         replenishes) can act on.
         """
         with self._lock:
-            if self._closed or generation != self._generation:
+            if self._closed or generation != self._generation \
+                    or self._replenishing:
                 return
             if any(c.generation == generation and not c.dead
                    for c in self._connections):

@@ -16,7 +16,10 @@ without a socket: :func:`encode_frame` produces a frame, and
 yields complete ``(kind, payload)`` pairs — TCP gives no message
 boundaries, so the decoder must be (and is, property-tested) correct under
 every possible split of the stream.  :func:`read_frame`/:func:`send_frame`
-are the thin blocking-socket wrappers the executor and worker use.
+are the thin blocking-socket wrappers the executor and worker use, and
+:func:`worker_handshake`/:func:`server_handshake` implement the mutual
+challenge-response that gates every connection (see the handshake section
+below).
 
 Oversized frames are a protocol error, not an allocation: the decoder
 checks the declared length against ``max_frame_bytes`` *before* buffering
@@ -26,6 +29,9 @@ allocate gigabytes.
 
 from __future__ import annotations
 
+import hashlib
+import hmac
+import os
 import struct
 from typing import List, Optional, Tuple
 
@@ -45,14 +51,18 @@ MAX_FRAME_BYTES = 1 << 31
 class FrameKind:
     """Frame type tags of the worker protocol (one byte on the wire).
 
-    ``HELLO``/``WELCOME`` authenticate a connection (worker sends the
-    shared token, server assigns a worker id).  ``TASK`` carries one
-    pickled ``(task_id, fn, payload)``; the worker answers with exactly one
-    ``RESULT`` or ``FAILED`` for it, interleaving any number of
-    ``FETCH``/``BLOB`` exchanges before that to pull broadcast segments it
-    has not cached (content-addressed by digest, so a segment is fetched
-    once per worker per publication).  ``BYE`` is a clean shutdown in
-    either direction.
+    ``HELLO``/``WELCOME``/``AUTH`` are the mutual challenge-response
+    handshake (:func:`worker_handshake`/:func:`server_handshake`): the
+    worker opens with a nonce, the executor answers with its own nonce
+    plus an HMAC proof of the shared token, and the worker closes with
+    its proof — so each side verifies the other before any pickled
+    payload is accepted, and the token itself never crosses the wire.
+    ``TASK`` carries one pickled ``(task_id, fn, payload)``; the worker
+    answers with exactly one ``RESULT`` or ``FAILED`` for it,
+    interleaving any number of ``FETCH``/``BLOB`` exchanges before that
+    to pull broadcast segments it has not cached (content-addressed by
+    digest, so a segment is fetched once per worker per publication).
+    ``BYE`` is a clean shutdown in either direction.
     """
 
     HELLO = 1
@@ -63,9 +73,10 @@ class FrameKind:
     FETCH = 6
     BLOB = 7
     BYE = 8
+    AUTH = 9
 
     #: every tag a conforming peer may put on the wire
-    ALL = (HELLO, WELCOME, TASK, RESULT, FAILED, FETCH, BLOB, BYE)
+    ALL = (HELLO, WELCOME, TASK, RESULT, FAILED, FETCH, BLOB, BYE, AUTH)
 
 
 class FrameError(Exception):
@@ -186,3 +197,98 @@ def read_frame(sock, max_frame_bytes: int = MAX_FRAME_BYTES
     payload = _recv_exactly(sock, length, anything_read=True) if length \
         else b""
     return kind, payload
+
+
+# --------------------------------------------------------------- handshake
+#
+# Mutual HMAC-SHA256 challenge-response over the shared token.  Design
+# constraints, in order:
+#
+# * the token must never appear on the wire (an eavesdropper — or anyone
+#   who connects to a ``--listen`` daemon and reads its first frame —
+#   learns nothing that lets them authenticate);
+# * NOTHING from an unauthenticated peer is ever unpickled: every
+#   handshake payload is fixed-length raw bytes, validated by length and
+#   verified with a constant-time comparison before the peer is trusted;
+# * each side proves itself to the other.  The worker always speaks
+#   first regardless of which side dialed, so one frame flow covers both
+#   deployment shapes — and the ``--listen`` daemon in particular admits
+#   no TASK frame until the connecting executor has proven the token.
+#
+# Frame flow:      worker                               executor
+#                  HELLO(worker_nonce + pid)        ->
+#                                                   <- WELCOME(server_nonce
+#                                                        + MAC_s)
+#                  AUTH(MAC_w)                      ->
+#
+# with MAC_s = HMAC(token, "server" label | worker_nonce | server_nonce)
+# and  MAC_w = HMAC(token, "worker" label | server_nonce | worker_nonce).
+# Each proof binds both nonces under a direction-distinct label, so a
+# transcript cannot be replayed into another session and a peer's proof
+# cannot be reflected back at it.
+
+#: how long connection establishment / authentication may take per peer
+HANDSHAKE_TIMEOUT = 15.0
+
+NONCE_BYTES = 32
+_MAC_BYTES = hashlib.sha256().digest_size
+_PID = struct.Struct(">Q")
+_SERVER_LABEL = b"repro-socket-server-v1"
+_WORKER_LABEL = b"repro-socket-worker-v1"
+
+
+def _proof(token: str, label: bytes, *nonces: bytes) -> bytes:
+    mac = hmac.new(token.encode("utf-8"), digestmod=hashlib.sha256)
+    mac.update(label)
+    for nonce in nonces:
+        mac.update(nonce)
+    return mac.digest()
+
+
+def worker_handshake(sock, token: str,
+                     max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+    """Worker side: prove the token and verify the executor's proof.
+
+    Raises :class:`FrameError` if the peer's WELCOME is malformed or its
+    proof does not verify — i.e. the connecting party does not hold the
+    token and must not be served a single task.
+    """
+    worker_nonce = os.urandom(NONCE_BYTES)
+    send_frame(sock, FrameKind.HELLO,
+               worker_nonce + _PID.pack(os.getpid()))
+    kind, payload = read_frame(sock, max_frame_bytes)
+    if kind != FrameKind.WELCOME \
+            or len(payload) != NONCE_BYTES + _MAC_BYTES:
+        raise FrameError("malformed WELCOME during handshake")
+    server_nonce = payload[:NONCE_BYTES]
+    expected = _proof(token, _SERVER_LABEL, worker_nonce, server_nonce)
+    if not hmac.compare_digest(payload[NONCE_BYTES:], expected):
+        raise FrameError("executor failed authentication (token mismatch)")
+    send_frame(sock, FrameKind.AUTH,
+               _proof(token, _WORKER_LABEL, server_nonce, worker_nonce))
+
+
+def server_handshake(sock, token: str,
+                     max_frame_bytes: int = MAX_FRAME_BYTES) -> int:
+    """Executor side: challenge the worker, verify its proof.
+
+    Returns the remote worker's pid.  Raises :class:`FrameError` when
+    the peer is malformed or fails verification; nothing the peer sent
+    has been unpickled either way.
+    """
+    kind, payload = read_frame(sock, max_frame_bytes)
+    if kind != FrameKind.HELLO \
+            or len(payload) != NONCE_BYTES + _PID.size:
+        raise FrameError("malformed HELLO during handshake")
+    worker_nonce = payload[:NONCE_BYTES]
+    (remote_pid,) = _PID.unpack(payload[NONCE_BYTES:])
+    server_nonce = os.urandom(NONCE_BYTES)
+    send_frame(sock, FrameKind.WELCOME, server_nonce + _proof(
+        token, _SERVER_LABEL, worker_nonce, server_nonce))
+    kind, payload = read_frame(sock, max_frame_bytes)
+    if kind != FrameKind.AUTH or len(payload) != _MAC_BYTES:
+        raise FrameError("malformed AUTH during handshake")
+    expected = _proof(token, _WORKER_LABEL, server_nonce, worker_nonce)
+    if not hmac.compare_digest(payload, expected):
+        raise FrameError("worker failed authentication (token mismatch)")
+    return remote_pid

@@ -12,11 +12,14 @@ shape: the process binds the given address, serves one executor connection
 at a time, and goes back to accepting when the connection ends — so it
 survives server restarts and ``replenish()`` reconnects.
 
-The serve loop is deliberately tiny: authenticate (HELLO/WELCOME with the
-shared token), then for each ``TASK`` frame unpickle ``(task_id, fn,
-payload)``, swap any shared-memory broadcast handles in the payload for
-inline ones (digest cache first, ``FETCH``/``BLOB`` round trip on a miss),
-run ``fn`` and answer with one ``RESULT`` or ``FAILED``.  Injected faults
+The serve loop is deliberately tiny: authenticate (a mutual HMAC
+challenge-response over the shared token — the executor must prove it
+holds the token before a single task is accepted, and the token itself
+never crosses the wire; see :mod:`repro.parallel.framing`), then for
+each ``TASK`` frame unpickle ``(task_id, fn, payload)``, swap any
+shared-memory broadcast handles in the payload for inline ones (digest
+cache first, ``FETCH``/``BLOB`` round trip on a miss), run ``fn`` and
+answer with one ``RESULT`` or ``FAILED``.  Injected faults
 run *inside* ``fn`` (the supervision wrapper travels with the task), so a
 real crash (``os._exit``) kills this process and a real hang stalls it —
 exactly the failure modes the executor's supervision contract recovers
@@ -26,7 +29,6 @@ from.
 from __future__ import annotations
 
 import argparse
-import os
 import pickle
 import socket
 import sys
@@ -34,8 +36,9 @@ from typing import Optional
 
 from ..util import BoundedLRU
 from .distributed import RemoteTaskError, resolve_handles
-from .framing import (MAX_FRAME_BYTES, ConnectionClosed, FrameError,
-                      FrameKind, read_frame, send_frame)
+from .framing import (HANDSHAKE_TIMEOUT, MAX_FRAME_BYTES, ConnectionClosed,
+                      FrameError, FrameKind, read_frame, send_frame,
+                      worker_handshake)
 
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
@@ -55,18 +58,20 @@ def _pickle_failure(task_id: int, exc: BaseException) -> bytes:
 
 def serve_connection(sock: socket.socket, token: str,
                      max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
-    """Authenticate and serve tasks until the peer goes away.
+    """Authenticate mutually, then serve tasks until the peer goes away.
+
+    The handshake must finish within :data:`HANDSHAKE_TIMEOUT` and the
+    peer must prove the token (critical in the ``--listen`` daemon
+    shape, where anyone who can reach the port may connect) before the
+    first ``TASK`` frame — whose payload gets unpickled — is accepted.
 
     Raises :class:`ConnectionClosed` when the executor disconnects (the
     normal end of a localhost worker's life) and :class:`FrameError` on
-    protocol violations.
+    protocol violations, including a peer that fails authentication.
     """
-    send_frame(sock, FrameKind.HELLO,
-               pickle.dumps({"token": token, "pid": os.getpid()},
-                            protocol=_PICKLE_PROTOCOL))
-    kind, _ = read_frame(sock, max_frame_bytes)
-    if kind != FrameKind.WELCOME:
-        raise FrameError(f"expected WELCOME after HELLO, got kind {kind}")
+    sock.settimeout(HANDSHAKE_TIMEOUT)
+    worker_handshake(sock, token, max_frame_bytes)
+    sock.settimeout(None)
 
     segments = BoundedLRU(SEGMENT_CACHE_LIMIT)
 
@@ -140,9 +145,9 @@ def main(argv: Optional[list] = None) -> int:
 
     if args.connect:
         host, port = _parse_address(args.connect)
-        sock = socket.create_connection((host, port), timeout=15.0)
+        sock = socket.create_connection((host, port),
+                                        timeout=HANDSHAKE_TIMEOUT)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        sock.settimeout(None)
         try:
             serve_connection(sock, args.token, args.max_frame_bytes)
         except ConnectionClosed:

@@ -18,8 +18,10 @@ from __future__ import annotations
 import importlib.util
 import json
 import os
+import pickle
 import signal
 import socket as socket_module
+import struct
 import subprocess
 import sys
 import threading
@@ -32,6 +34,8 @@ import pytest
 from repro.experiments import preset_for, run_method, scaled
 from repro.parallel import (BrokenSocketPool, RemoteTaskError, SocketExecutor,
                             resolve_executor)
+from repro.parallel.framing import (NONCE_BYTES, FrameError, FrameKind,
+                                    read_frame, send_frame)
 
 _SPEC = importlib.util.spec_from_file_location(
     "golden_fixtures",
@@ -45,6 +49,18 @@ SPECS = golden.golden_specs()
 #: runs at one of them, and together they cover the full fixture set at
 #: each count without tripling the suite's runtime
 SHARD_ROTATION = (1, 2, 4)
+
+
+#: flipped if an unauthenticated payload ever reaches pickle.loads in the
+#: executor process — see _PickleCanary
+_CANARY_TRIPS: list = []
+
+
+class _PickleCanary:
+    """Pickles to a call that records the unpickle — an RCE tripwire."""
+
+    def __reduce__(self):
+        return (_CANARY_TRIPS.append, ("unauthenticated bytes unpickled",))
 
 
 # task functions live at module level so the socket workers can import them
@@ -106,6 +122,30 @@ class TestSocketExecutorBasics:
         with pytest.raises(Exception):
             executor.map_ordered(lambda x: x, [1])  # lambdas cannot pickle
         assert executor.map_ordered(_square, [5]) == [25]
+
+    def test_oversized_task_fails_its_future_only(self, executor,
+                                                  monkeypatch):
+        """A task too big to frame is the caller's error, not worker loss.
+
+        The real ceiling is 2 GiB — impractical to allocate here — so the
+        send path is narrowed to a 1 KiB limit; the FrameError it raises
+        is exactly the one encode_frame produces pre-wire.
+        """
+        from repro.parallel import distributed as dist_mod
+        real_send = dist_mod.send_frame
+
+        def limited_send(sock, kind, payload):
+            if kind == FrameKind.TASK and len(payload) > 1024:
+                raise FrameError(
+                    f"frame payload of {len(payload)} bytes exceeds the "
+                    f"1024-byte limit")
+            real_send(sock, kind, payload)
+
+        monkeypatch.setattr(dist_mod, "send_frame", limited_send)
+        with pytest.raises(FrameError, match="exceeds"):
+            executor.map_ordered(_echo_array, [np.zeros(4096)])
+        # the worker was never marked dead — small tasks still flow
+        assert executor.map_ordered(_square, [7]) == [49]
 
     def test_transport_bytes_are_counted(self, executor):
         before = executor.bytes_sent, executor.bytes_received
@@ -192,6 +232,93 @@ class TestWorkerDaemon:
         finally:
             daemon.terminate()
             daemon.wait(timeout=10)
+
+    def test_daemon_reveals_no_secret_to_an_unauthenticated_client(self):
+        """Anyone can connect to a --listen port; they must learn nothing.
+
+        The daemon's opening HELLO is a random nonce plus its pid — no
+        token — and a client that cannot prove the token gets dropped
+        before a single TASK frame would be accepted.
+        """
+        token = "deep-dark-secret"
+        with socket_module.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [entry for entry in sys.path if entry])
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro.parallel.worker",
+             "--listen", f"127.0.0.1:{port}", "--token", token],
+            env=env, stdin=subprocess.DEVNULL, stdout=subprocess.DEVNULL)
+        try:
+            deadline = time.monotonic() + 10.0
+            while True:
+                try:
+                    attacker = socket_module.create_connection(
+                        ("127.0.0.1", port), timeout=5.0)
+                    break
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        raise
+                    time.sleep(0.1)
+            try:
+                kind, payload = read_frame(attacker)
+                assert kind == FrameKind.HELLO
+                assert len(payload) == NONCE_BYTES + 8  # nonce + pid only
+                assert token.encode() not in payload
+                # answer the challenge without the token: a well-formed
+                # WELCOME whose proof is a guess
+                send_frame(attacker, FrameKind.WELCOME,
+                           os.urandom(NONCE_BYTES) + os.urandom(32))
+                # the daemon must hang up, never reaching the TASK loop
+                attacker.settimeout(10.0)
+                assert attacker.recv(1) == b""
+            finally:
+                attacker.close()
+        finally:
+            daemon.terminate()
+            daemon.wait(timeout=10)
+
+
+# ----------------------------------------------------- handshake security
+class TestListenerSecurity:
+    """The executor's loopback listener against unauthenticated peers."""
+
+    def test_unauthenticated_bytes_are_never_unpickled(self, executor):
+        """A pickle bomb in a HELLO frame must not reach pickle.loads."""
+        _CANARY_TRIPS.clear()
+        attacker = socket_module.create_connection(
+            ("127.0.0.1", executor._port), timeout=5.0)
+        try:
+            send_frame(attacker, FrameKind.HELLO,
+                       pickle.dumps(_PickleCanary()))
+            attacker.settimeout(10.0)
+            assert attacker.recv(1) == b""  # dropped, no WELCOME
+        finally:
+            attacker.close()
+        assert _CANARY_TRIPS == []
+
+    def test_forged_proof_is_not_adopted(self, executor):
+        """A well-formed handshake with a guessed proof gets rejected."""
+        with executor._lock:
+            before = len(executor._connections)
+        attacker = socket_module.create_connection(
+            ("127.0.0.1", executor._port), timeout=5.0)
+        try:
+            send_frame(attacker, FrameKind.HELLO,
+                       os.urandom(NONCE_BYTES) + struct.pack(">Q", 4242))
+            attacker.settimeout(10.0)
+            kind, _ = read_frame(attacker)
+            assert kind == FrameKind.WELCOME
+            send_frame(attacker, FrameKind.AUTH, os.urandom(32))
+            assert attacker.recv(1) == b""  # hung up on, not adopted
+        finally:
+            attacker.close()
+        with executor._lock:
+            assert len(executor._connections) == before
+        # the pool is unbothered by the attempt
+        assert executor.map_ordered(_square, [6]) == [36]
 
 
 # ---------------------------------------------------------- golden parity
@@ -294,3 +421,28 @@ class TestFaultRecovery:
             ex.replenish()
             ex.warm_up()
             assert ex.map_ordered(_square, [3]) == [9]
+
+    def test_submit_after_total_worker_loss_fails_fast(self):
+        """A task queued after the pool died must not wait forever.
+
+        The process-exit and connection-retire events that normally fail
+        the queue all fired before this submit — the submit itself has to
+        notice the dead pool.
+        """
+        with SocketExecutor(workers=1) as ex:
+            ex.warm_up()
+            with pytest.raises(BrokenSocketPool):
+                ex.map_ordered(_exit_hard, [None])
+            # let the watcher threads finish their post-mortem events
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                with ex._lock:
+                    quiet = not ex._connections and all(
+                        process.poll() is not None
+                        for process, _ in ex._processes)
+                if quiet:
+                    break
+                time.sleep(0.02)
+            future = ex.submit(_square, 2)
+            with pytest.raises(BrokenSocketPool):
+                future.result(timeout=10)

@@ -17,9 +17,12 @@ import threading
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.parallel.framing import (HEADER_BYTES, MAGIC, ConnectionClosed,
-                                    FrameDecoder, FrameError, FrameKind,
-                                    encode_frame, read_frame, send_frame)
+import repro.parallel.framing as framing
+from repro.parallel.framing import (HEADER_BYTES, MAGIC, NONCE_BYTES,
+                                    ConnectionClosed, FrameDecoder,
+                                    FrameError, FrameKind, encode_frame,
+                                    read_frame, send_frame,
+                                    server_handshake, worker_handshake)
 
 _KINDS = st.sampled_from(FrameKind.ALL)
 _PAYLOADS = st.binary(max_size=256)
@@ -198,3 +201,105 @@ class TestSocketWrappers:
         finally:
             left.close()
             right.close()
+
+
+# -------------------------------------------------------------- handshake
+class TestHandshake:
+    """Mutual challenge-response: both sides verify, token stays secret."""
+
+    def _run(self, worker_token, server_token):
+        """Both handshake halves over a socketpair; their outcomes."""
+        left, right = socket.socketpair()
+        left.settimeout(5.0)
+        right.settimeout(5.0)
+        outcome = {}
+
+        def worker_side():
+            try:
+                worker_handshake(left, worker_token)
+                outcome["worker"] = "ok"
+            except Exception as exc:
+                outcome["worker"] = exc
+            finally:
+                left.close()
+
+        thread = threading.Thread(target=worker_side)
+        thread.start()
+        try:
+            outcome["pid"] = server_handshake(right, server_token)
+            outcome["server"] = "ok"
+        except Exception as exc:
+            outcome["server"] = exc
+        finally:
+            thread.join(timeout=5)
+            right.close()
+        return outcome
+
+    def test_matching_tokens_authenticate_both_sides(self):
+        import os
+        outcome = self._run("sesame", "sesame")
+        assert outcome["worker"] == "ok"
+        assert outcome["server"] == "ok"
+        assert outcome["pid"] == os.getpid()
+
+    def test_token_mismatch_fails_on_the_worker_side_first(self):
+        # the worker verifies the executor's proof before answering: a
+        # connecting party without the token gets rejected, not served
+        outcome = self._run("right", "wrong")
+        assert isinstance(outcome["worker"], FrameError)
+        assert "authentication" in str(outcome["worker"])
+        assert outcome["server"] != "ok"
+
+    def test_server_rejects_a_forged_proof(self):
+        # an attacker who answers the challenge without the token (any
+        # guessed MAC) must not authenticate
+        left, right = socket.socketpair()
+        left.settimeout(5.0)
+        right.settimeout(5.0)
+        outcome = {}
+
+        def attacker():
+            send_frame(left, FrameKind.HELLO,
+                       b"\x00" * NONCE_BYTES + struct.pack(">Q", 1234))
+            kind, _ = read_frame(left)
+            assert kind == FrameKind.WELCOME
+            send_frame(left, FrameKind.AUTH, b"\x00" * 32)
+
+        thread = threading.Thread(target=attacker)
+        thread.start()
+        try:
+            with pytest.raises(FrameError, match="authentication"):
+                server_handshake(right, "the-real-token")
+        finally:
+            thread.join(timeout=5)
+            left.close()
+            right.close()
+
+    def test_server_rejects_a_malformed_hello_without_unpickling(self):
+        # pre-auth payloads are validated as fixed-length raw bytes;
+        # arbitrary (e.g. pickled) HELLO payloads are refused outright
+        left, right = socket.socketpair()
+        right.settimeout(5.0)
+        try:
+            send_frame(left, FrameKind.HELLO, b"not a nonce")
+            with pytest.raises(FrameError, match="malformed HELLO"):
+                server_handshake(right, "token")
+        finally:
+            left.close()
+            right.close()
+
+    def test_token_never_crosses_the_wire(self, monkeypatch):
+        token = "hunter2-super-secret"
+        recorded = []
+        real_send = framing.send_frame
+
+        def sniffing_send(sock, kind, payload):
+            recorded.append(payload)
+            real_send(sock, kind, payload)
+
+        monkeypatch.setattr(framing, "send_frame", sniffing_send)
+        outcome = self._run(token, token)
+        assert outcome["worker"] == "ok" and outcome["server"] == "ok"
+        assert len(recorded) == 3  # HELLO, WELCOME, AUTH
+        for payload in recorded:
+            assert token.encode() not in payload
